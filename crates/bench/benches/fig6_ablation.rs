@@ -1,0 +1,156 @@
+//! Fig. 6 — ablation study.
+//!
+//! Re-pre-trains NetTAG with one component removed at a time and re-runs
+//! all four tasks: w/o TAG (structure-only features), w/o objective #1
+//! (expression contrastive), #2.1 (masked gate), #2.2 (graph contrastive),
+//! #2.3 (size prediction), and w/o cross-stage alignment. The paper's
+//! shape: every ablation hurts; #1 hurts functional tasks most, #2.3 hurts
+//! physical tasks most, alignment hurts everything.
+//!
+//! This is the most expensive harness (7 pre-trainings); it runs a reduced
+//! suite regardless of scale.
+
+use nettag_bench::{eval_all_tasks, print_table, Scale};
+use nettag_core::data::{build_pretrain_data, DataConfig};
+use nettag_core::{pretrain, NetTag, Objectives};
+use nettag_netlist::Library;
+use nettag_tasks::{build_suite, pretrain_designs, SuiteConfig};
+
+struct Variant {
+    name: &'static str,
+    objectives: Objectives,
+    text_scale: f32,
+    paper: &'static str,
+}
+
+fn main() {
+    let mut scale = Scale::from_env();
+    // Reduced suite: the ablation re-pretrains 7 models.
+    scale.suite = SuiteConfig {
+        scale: scale.suite.scale.min(0.45),
+        task1_designs: 4,
+        task4_per_family: 2,
+        ..scale.suite
+    };
+    scale.step1_steps = scale.step1_steps.min(30);
+    scale.step2_steps = scale.step2_steps.min(25);
+    scale.finetune_epochs = scale.finetune_epochs.min(100);
+    let lib = Library::default();
+    let designs = pretrain_designs(0xBE7C, scale.pretrain_per_family, scale.pretrain_scale);
+    let data = build_pretrain_data(
+        &designs,
+        &lib,
+        &DataConfig {
+            max_cones_per_design: scale.max_cones,
+            ..DataConfig::default()
+        },
+    );
+    let mut suite = build_suite(&scale.suite);
+    // The ablation/scaling sweeps re-pretrain many models; trim the
+    // sequential suite to one design per family to bound wall-clock.
+    suite.task23 = suite
+        .task23
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0)
+        .map(|(_, d)| d)
+        .collect();
+    let on = Objectives::default();
+    let variants = [
+        Variant {
+            name: "NetTAG (full)",
+            objectives: on,
+            text_scale: 1.0,
+            paper: "T1 97 | T2 91 | T3 15 | T4 12",
+        },
+        Variant {
+            name: "w/o TAG (structure only)",
+            objectives: on,
+            text_scale: 0.0,
+            paper: "T1 84 (-13) | T3 17",
+        },
+        Variant {
+            name: "w/o obj #1 (expr contrast)",
+            objectives: Objectives {
+                expr_contrast: false,
+                ..on
+            },
+            text_scale: 1.0,
+            paper: "T1 93 | T3 16",
+        },
+        Variant {
+            name: "w/o obj #2.1 (masked gate)",
+            objectives: Objectives {
+                masked_gate: false,
+                ..on
+            },
+            text_scale: 1.0,
+            paper: "T1 94 | T3 19",
+        },
+        Variant {
+            name: "w/o obj #2.2 (graph contrast)",
+            objectives: Objectives {
+                graph_contrast: false,
+                ..on
+            },
+            text_scale: 1.0,
+            paper: "T1 95 | T3 17",
+        },
+        Variant {
+            name: "w/o obj #2.3 (size pred)",
+            objectives: Objectives {
+                size_prediction: false,
+                ..on
+            },
+            text_scale: 1.0,
+            paper: "T1 96 | T3 16",
+        },
+        Variant {
+            name: "w/o cross-stage align",
+            objectives: Objectives {
+                cross_stage: false,
+                ..on
+            },
+            text_scale: 1.0,
+            paper: "T1 95 | T3 19",
+        },
+    ];
+    let mut rows = Vec::new();
+    let mut full_summary = None;
+    for v in &variants {
+        eprintln!("[fig6] pre-training variant: {}", v.name);
+        let mut model = NetTag::new(scale.model.clone());
+        model.text_scale = v.text_scale;
+        let mut cfg = scale.pretrain_config();
+        cfg.objectives = v.objectives;
+        let _ = pretrain(&mut model, &data, &cfg);
+        let s = eval_all_tasks(&model, &suite, &scale);
+        if full_summary.is_none() {
+            full_summary = Some(s);
+        }
+        rows.push(vec![
+            v.name.to_string(),
+            format!("{:.0}", s.task1_acc * 100.0),
+            format!("{:.0}", s.task2_acc * 100.0),
+            format!("{:.0}", s.task3_mape),
+            format!("{:.0}", s.task4_mape),
+            v.paper.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 6: ablation study (scale={}, reduced suite)", scale.name),
+        &[
+            "Variant",
+            "T1 Acc%",
+            "T2 Acc%",
+            "T3 MAPE%",
+            "T4 MAPE%",
+            "paper (direction)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: the full model should top the functional accuracies and have the\n\
+         lowest (or near-lowest) MAPEs; 'w/o TAG' should show the biggest functional drop."
+    );
+}

@@ -1,0 +1,107 @@
+//! Fig. 7 — performance scaling with model and data size.
+//!
+//! (a) Three growing ExprLLM/TAGFormer sizes (stand-ins for BERT-110M /
+//! Llama-1.3B / Llama-8B) pre-trained on the same corpus; (b) the default
+//! model pre-trained on 25% / 50% / 100% of the corpus. The paper's shape:
+//! every task improves monotonically along both axes.
+
+use nettag_bench::{eval_all_tasks, print_table, Scale};
+use nettag_core::data::PretrainData;
+use nettag_core::{pretrain, NetTag, NetTagConfig};
+use nettag_core::data::{build_pretrain_data, DataConfig};
+use nettag_netlist::Library;
+use nettag_tasks::{build_suite, pretrain_designs, SuiteConfig};
+
+fn fraction(data: &PretrainData, f: f64) -> PretrainData {
+    PretrainData {
+        exprs: data.exprs[..((data.exprs.len() as f64 * f) as usize).max(4)].to_vec(),
+        cones: data.cones[..((data.cones.len() as f64 * f) as usize).max(2)].to_vec(),
+    }
+}
+
+fn main() {
+    let mut scale = Scale::from_env();
+    scale.suite = SuiteConfig {
+        scale: scale.suite.scale.min(0.45),
+        task1_designs: 4,
+        task4_per_family: 2,
+        ..scale.suite
+    };
+    scale.step1_steps = scale.step1_steps.min(30);
+    scale.step2_steps = scale.step2_steps.min(25);
+    scale.finetune_epochs = scale.finetune_epochs.min(100);
+    let lib = Library::default();
+    let designs = pretrain_designs(0xBE7C, scale.pretrain_per_family, scale.pretrain_scale);
+    let data = build_pretrain_data(
+        &designs,
+        &lib,
+        &DataConfig {
+            max_cones_per_design: scale.max_cones,
+            ..DataConfig::default()
+        },
+    );
+    let mut suite = build_suite(&scale.suite);
+    // The ablation/scaling sweeps re-pretrain many models; trim the
+    // sequential suite to one design per family to bound wall-clock.
+    suite.task23 = suite
+        .task23
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0)
+        .map(|(_, d)| d)
+        .collect();
+    // (a) Model size sweep.
+    let mut rows_a = Vec::new();
+    let paper_a = [
+        "T1 88 | T2 79 | T3 26 | T4 24",
+        "T1 96 | T2 83 | T3 23 | T4 22",
+        "T1 97 | T2 86 | T3 15 | T4 12",
+    ];
+    for (i, (label, config)) in NetTagConfig::scaling_presets().into_iter().enumerate() {
+        eprintln!("[fig7a] pre-training model preset: {label}");
+        let mut model = NetTag::new(config);
+        let _ = pretrain(&mut model, &data, &scale.pretrain_config());
+        let s = eval_all_tasks(&model, &suite, &scale);
+        rows_a.push(vec![
+            label.to_string(),
+            format!("{:.0}", s.task1_acc * 100.0),
+            format!("{:.0}", s.task2_acc * 100.0),
+            format!("{:.0}", s.task3_mape),
+            format!("{:.0}", s.task4_mape),
+            paper_a[i].to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 7(a): scaling model size (scale={})", scale.name),
+        &["Model", "T1 Acc%", "T2 Acc%", "T3 MAPE%", "T4 MAPE%", "paper"],
+        &rows_a,
+    );
+    // (b) Data size sweep.
+    let mut rows_b = Vec::new();
+    let paper_b = [
+        "T1 95 | T2 80 | T3 19 | T4 15",
+        "T1 96 | T2 84 | T3 16 | T4 13",
+        "T1 97 | T2 86 | T3 15 | T4 12",
+    ];
+    for (i, frac) in [0.25f64, 0.5, 1.0].into_iter().enumerate() {
+        eprintln!("[fig7b] pre-training on {:.0}% of the corpus", frac * 100.0);
+        let sub = fraction(&data, frac);
+        let mut model = NetTag::new(scale.model.clone());
+        let _ = pretrain(&mut model, &sub, &scale.pretrain_config());
+        let s = eval_all_tasks(&model, &suite, &scale);
+        rows_b.push(vec![
+            format!("{:.0}%", frac * 100.0),
+            format!("{:.0}", s.task1_acc * 100.0),
+            format!("{:.0}", s.task2_acc * 100.0),
+            format!("{:.0}", s.task3_mape),
+            format!("{:.0}", s.task4_mape),
+            paper_b[i].to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 7(b): scaling data size (scale={})", scale.name),
+        &["Data", "T1 Acc%", "T2 Acc%", "T3 MAPE%", "T4 MAPE%", "paper"],
+        &rows_b,
+    );
+    println!("\nShape check: metrics should improve (accuracy up, MAPE down) along both sweeps.");
+}

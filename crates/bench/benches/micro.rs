@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the pipeline's hot paths: symbolic
+//! expression extraction (+ the 2-hop ablation from DESIGN.md, sweeping
+//! hop depth), cone chunking, STA, power, ExprLLM and TAGFormer inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nettag_core::{NetTag, NetTagConfig};
+use nettag_expr::token::tokenize_expr;
+use nettag_netlist::{chunk_into_cones, gate_expr, Library, Tag, TagOptions};
+use nettag_physical::{analyze_timing, extract, measure_activity, place, ActivityConfig, PlaceConfig, TimingConfig};
+use nettag_synth::{generate_design, Family, GenerateConfig};
+
+fn bench_expression_extraction(c: &mut Criterion) {
+    let design = generate_design(Family::VexRiscv, 0, 7, &GenerateConfig::default());
+    let target = design
+        .netlist
+        .iter()
+        .filter(|(_, g)| g.kind.is_combinational())
+        .map(|(id, _)| id)
+        .last()
+        .expect("has gates");
+    let mut group = c.benchmark_group("expr_extraction");
+    for hops in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, &hops| {
+            b.iter(|| gate_expr(&design.netlist, target, hops));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunking_and_tag(c: &mut Criterion) {
+    let design = generate_design(Family::Chipyard, 0, 7, &GenerateConfig::default());
+    let lib = Library::default();
+    c.bench_function("register_cone_chunking", |b| {
+        b.iter(|| chunk_into_cones(&design.netlist));
+    });
+    c.bench_function("tag_conversion", |b| {
+        b.iter(|| Tag::from_netlist(&design.netlist, &lib, &TagOptions::default()));
+    });
+}
+
+fn bench_physical(c: &mut Criterion) {
+    let design = generate_design(Family::VexRiscv, 1, 7, &GenerateConfig::default());
+    let lib = Library::default();
+    let placement = place(&design.netlist, &lib, &PlaceConfig::default());
+    let parasitics = extract(&design.netlist, &lib, &placement);
+    c.bench_function("sta", |b| {
+        b.iter(|| analyze_timing(&design.netlist, &lib, &parasitics, &TimingConfig::default()));
+    });
+    c.bench_function("activity_sim_16cycles", |b| {
+        b.iter(|| {
+            measure_activity(
+                &design.netlist,
+                &ActivityConfig {
+                    cycles: 16,
+                    ..ActivityConfig::default()
+                },
+            )
+        });
+    });
+}
+
+fn bench_model_inference(c: &mut Criterion) {
+    let model = NetTag::new(NetTagConfig::small());
+    let vocab = NetTag::vocab();
+    let expr = nettag_expr::parse_expr("!((R1 ^ R2) | !R2) & Ite(s, a, b ^ c)").expect("parses");
+    let toks = tokenize_expr(&vocab, &expr, model.config.max_tokens);
+    c.bench_function("exprllm_encode", |b| {
+        b.iter(|| model.exprllm.encode(&toks));
+    });
+    let design = generate_design(Family::OpenCores, 0, 7, &GenerateConfig::default());
+    let lib = Library::default();
+    let tag = Tag::from_netlist(&design.netlist, &lib, &model.tag_options());
+    let features = model.node_features(&tag);
+    c.bench_function("tagformer_encode", |b| {
+        b.iter(|| model.tagformer.encode(&features, &tag.edges));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_expression_extraction, bench_chunking_and_tag, bench_physical, bench_model_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! Fine-tuning heads over frozen NetTAG embeddings (paper Sec. II-F):
+//! lightweight MLP classifiers/regressors plus the GBDT option.
+
+use nettag_nn::{Adam, GbdtConfig, GbdtRegressor, Graph, Layer, Mlp, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+
+/// Training schedule for fine-tuning heads.
+#[derive(Debug, Clone)]
+pub struct FinetuneConfig {
+    /// Full-batch epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Hidden width (paper: 256, 3-layer MLPs).
+    pub hidden: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for FinetuneConfig {
+    fn default() -> Self {
+        FinetuneConfig {
+            epochs: 200,
+            lr: 5e-3,
+            hidden: 64,
+            seed: 0xF17E,
+        }
+    }
+}
+
+/// An MLP classification head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassifierHead {
+    mlp: Mlp,
+    classes: usize,
+}
+
+impl ClassifierHead {
+    /// Trains a classifier on frozen embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty or lengths mismatch.
+    pub fn train(
+        features: &[Vec<f32>],
+        labels: &[usize],
+        classes: usize,
+        config: &FinetuneConfig,
+    ) -> ClassifierHead {
+        assert_eq!(features.len(), labels.len(), "one label per sample");
+        assert!(!features.is_empty(), "cannot train on empty data");
+        let dim = features[0].len();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut mlp = Mlp::new(&[dim, config.hidden, classes], &mut rng);
+        let x = pack(features);
+        let targets = Rc::new(labels.to_vec());
+        let mut opt = Adam::new(config.lr);
+        for _ in 0..config.epochs {
+            let mut g = Graph::new();
+            let xn = g.constant(x.clone());
+            let logits = mlp.forward(&mut g, xn);
+            let loss = g.cross_entropy(logits, targets.clone());
+            let grads = g.backward(loss);
+            let pg = g.param_grads(&grads);
+            opt.step(&mut mlp.params_mut(), &pg);
+        }
+        ClassifierHead { mlp, classes }
+    }
+
+    /// Predicts class indices for a batch.
+    pub fn predict(&self, features: &[Vec<f32>]) -> Vec<usize> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let mut g = Graph::new();
+        let x = g.constant(pack(features));
+        let logits = self.mlp.forward(&mut g, x);
+        let lv = g.value(logits);
+        (0..lv.rows)
+            .map(|r| {
+                let row = lv.row_slice(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+}
+
+/// Which model family backs a regression head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressorKind {
+    /// 3-layer MLP (paper's default head).
+    Mlp,
+    /// Gradient-boosted trees (the paper's XGBoost option).
+    Gbdt,
+}
+
+/// A regression head with target standardization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressorHead {
+    model: RegressorModel,
+    mean: f32,
+    std: f32,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum RegressorModel {
+    Mlp(Mlp),
+    Gbdt(GbdtRegressor),
+}
+
+impl RegressorHead {
+    /// Trains a regressor on frozen embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty or lengths mismatch.
+    pub fn train(
+        features: &[Vec<f32>],
+        targets: &[f32],
+        kind: RegressorKind,
+        config: &FinetuneConfig,
+    ) -> RegressorHead {
+        assert_eq!(features.len(), targets.len(), "one target per sample");
+        assert!(!features.is_empty(), "cannot train on empty data");
+        let mean = targets.iter().sum::<f32>() / targets.len() as f32;
+        let var = targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f32>()
+            / targets.len() as f32;
+        let std = var.sqrt().max(1e-6);
+        let normed: Vec<f32> = targets.iter().map(|t| (t - mean) / std).collect();
+        let model = match kind {
+            RegressorKind::Gbdt => RegressorModel::Gbdt(GbdtRegressor::fit(
+                features,
+                &normed,
+                &GbdtConfig::default(),
+            )),
+            RegressorKind::Mlp => {
+                let dim = features[0].len();
+                let mut rng = StdRng::seed_from_u64(config.seed);
+                let mut mlp = Mlp::new(&[dim, config.hidden, 1], &mut rng);
+                let x = pack(features);
+                let y = Tensor::from_vec(normed.len(), 1, normed);
+                let mut opt = Adam::new(config.lr);
+                for _ in 0..config.epochs {
+                    let mut g = Graph::new();
+                    let xn = g.constant(x.clone());
+                    let pred = mlp.forward(&mut g, xn);
+                    let loss = g.mse(pred, y.clone());
+                    let grads = g.backward(loss);
+                    let pg = g.param_grads(&grads);
+                    opt.step(&mut mlp.params_mut(), &pg);
+                }
+                RegressorModel::Mlp(mlp)
+            }
+        };
+        RegressorHead { model, mean, std }
+    }
+
+    /// Predicts values for a batch (denormalized).
+    pub fn predict(&self, features: &[Vec<f32>]) -> Vec<f32> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let raw: Vec<f32> = match &self.model {
+            RegressorModel::Gbdt(m) => m.predict_batch(features),
+            RegressorModel::Mlp(m) => {
+                let mut g = Graph::new();
+                let x = g.constant(pack(features));
+                let pred = m.forward(&mut g, x);
+                g.value(pred).data.clone()
+            }
+        };
+        raw.into_iter().map(|v| v * self.std + self.mean).collect()
+    }
+}
+
+fn pack(features: &[Vec<f32>]) -> Tensor {
+    let cols = features[0].len();
+    let mut t = Tensor::zeros(features.len(), cols);
+    for (r, f) in features.iter().enumerate() {
+        assert_eq!(f.len(), cols, "ragged feature rows");
+        t.data[r * cols..(r + 1) * cols].copy_from_slice(f);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let c = rng.gen_range(0..2usize);
+            let center = if c == 0 { -1.0 } else { 1.0 };
+            xs.push(vec![
+                center + rng.gen_range(-0.3..0.3),
+                -center + rng.gen_range(-0.3..0.3),
+            ]);
+            ys.push(c);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn classifier_separates_blobs() {
+        let (xs, ys) = blobs(60, 1);
+        let head = ClassifierHead::train(&xs, &ys, 2, &FinetuneConfig::default());
+        let preds = head.predict(&xs);
+        let acc = preds
+            .iter()
+            .zip(ys.iter())
+            .filter(|(p, y)| p == y)
+            .count() as f64
+            / ys.len() as f64;
+        assert!(acc > 0.95, "acc {acc}");
+        assert_eq!(head.classes(), 2);
+    }
+
+    #[test]
+    fn mlp_regressor_fits_linear_map() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<Vec<f32>> = (0..80)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
+        let head = RegressorHead::train(&xs, &ys, RegressorKind::Mlp, &FinetuneConfig::default());
+        let preds = head.predict(&xs);
+        let mae: f32 = preds
+            .iter()
+            .zip(ys.iter())
+            .map(|(p, y)| (p - y).abs())
+            .sum::<f32>()
+            / ys.len() as f32;
+        assert!(mae < 0.5, "mae {mae}");
+    }
+
+    #[test]
+    fn gbdt_regressor_fits_step_function() {
+        let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| if x[0] < 0.4 { 10.0 } else { 20.0 }).collect();
+        let head = RegressorHead::train(&xs, &ys, RegressorKind::Gbdt, &FinetuneConfig::default());
+        let preds = head.predict(&[vec![0.1], vec![0.9]]);
+        assert!((preds[0] - 10.0).abs() < 1.5);
+        assert!((preds[1] - 20.0).abs() < 1.5);
+    }
+}

@@ -1,0 +1,50 @@
+//! # nettag-core — the NetTAG foundation model
+//!
+//! The paper's primary contribution, from scratch: netlists formulated as
+//! text-attributed graphs are encoded by a multimodal pair — [`ExprLlm`]
+//! (bidirectional text transformer over gate attributes) and [`TagFormer`]
+//! (SGFormer-style graph transformer with a `[CLS]` node) — pre-trained
+//! with four circuit self-supervised objectives plus cross-stage
+//! contrastive alignment against RTL and layout encoders, then fine-tuned
+//! with lightweight heads for functional and physical netlist tasks.
+//!
+//! ```no_run
+//! use nettag_core::{pretrain, NetTag, NetTagConfig, PretrainConfig};
+//! use nettag_core::data::{build_pretrain_data, DataConfig};
+//! use nettag_netlist::Library;
+//! use nettag_synth::{generate_design, Family, GenerateConfig};
+//!
+//! let lib = Library::default();
+//! let designs: Vec<_> = (0..4)
+//!     .map(|i| generate_design(Family::OpenCores, i, 42, &GenerateConfig::default()))
+//!     .collect();
+//! let data = build_pretrain_data(&designs, &lib, &DataConfig::default());
+//! let mut model = NetTag::new(NetTagConfig::small());
+//! let report = pretrain(&mut model, &data, &PretrainConfig::default());
+//! assert!(!report.step2_losses.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod data;
+mod encoders;
+mod exprllm;
+mod finetune;
+mod nettag;
+mod persist;
+mod pretrain;
+mod tagformer;
+
+pub use config::NetTagConfig;
+pub use encoders::{rtl_vocab, tokenize_rtl, LayoutEncoder, RtlEncoder, RTL_KEYWORDS};
+pub use exprllm::ExprLlm;
+pub use finetune::{ClassifierHead, FinetuneConfig, RegressorHead, RegressorKind};
+pub use nettag::{NetTag, TagEmbedding};
+pub use persist::{load_checkpoint, save_checkpoint, CheckpointError};
+pub use pretrain::{
+    freeze_cone_features, pretrain, pretrain_exprllm, pretrain_tagformer, FrozenCone, Objectives,
+    PretrainConfig, PretrainHeads, PretrainReport,
+};
+pub use tagformer::{TagFormer, TagFormerLayer, TagFormerOutput};

@@ -1,0 +1,232 @@
+//! The NetTAG foundation model: ExprLLM + TAGFormer and the multi-grained
+//! embedding API (paper Sec. II-C and II-F).
+
+use crate::config::NetTagConfig;
+use crate::exprllm::ExprLlm;
+use crate::tagformer::TagFormer;
+use nettag_expr::token::Vocab;
+use nettag_netlist::{
+    chunk_into_cones, cone_to_netlist, Library, Netlist, PhysProps, Tag, TagOptions,
+};
+use nettag_nn::{Layer, Param, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// The pre-trainable NetTAG model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetTag {
+    /// Model configuration.
+    pub config: NetTagConfig,
+    /// Gate text encoder.
+    pub exprllm: ExprLlm,
+    /// Graph transformer.
+    pub tagformer: TagFormer,
+    /// Scale applied to the text half of node features (1.0 normally;
+    /// 0.0 reproduces the "w/o TAG" structure-only ablation of Fig. 6).
+    pub text_scale: f32,
+}
+
+/// Inference embeddings of one TAG.
+#[derive(Debug, Clone)]
+pub struct TagEmbedding {
+    /// Per-gate embeddings (n×embed_dim) — `N_1..N_m`.
+    pub nodes: Tensor,
+    /// Graph embedding (1×embed_dim) — `N_cls`.
+    pub cls: Tensor,
+}
+
+impl TagEmbedding {
+    /// Pooled graph feature: `[CLS] ‖ mean(node embeddings)` — at paper
+    /// scale `N_cls` alone suffices, but tiny CPU models benefit from the
+    /// extra pooled view (both grains are NetTAG outputs, Sec. II-F).
+    pub fn pooled(&self) -> Vec<f32> {
+        let mut out = self.cls.data.clone();
+        let n = self.nodes.rows.max(1) as f32;
+        for c in 0..self.nodes.cols {
+            let mut s = 0.0;
+            for r in 0..self.nodes.rows {
+                s += self.nodes.at(r, c);
+            }
+            out.push(s / n);
+        }
+        out
+    }
+}
+
+impl NetTag {
+    /// Builds a fresh (untrained) NetTAG with the standard cell vocabulary.
+    pub fn new(config: NetTagConfig) -> NetTag {
+        let vocab = Self::vocab();
+        let exprllm = ExprLlm::new(&vocab, &config);
+        let tagformer = TagFormer::new(config.embed_dim + 8, &config);
+        NetTag {
+            config,
+            exprllm,
+            tagformer,
+            text_scale: 1.0,
+        }
+    }
+
+    /// The shared token vocabulary (grammar + cell-type words + buckets).
+    pub fn vocab() -> Vocab {
+        Vocab::new(Library::default().cell_names())
+    }
+
+    /// TAG construction options matching this model's hop setting.
+    pub fn tag_options(&self) -> TagOptions {
+        TagOptions {
+            hops: self.config.hops,
+            ..TagOptions::default()
+        }
+    }
+
+    /// Computes frozen input features for TAGFormer: per-node ExprLLM text
+    /// embedding concatenated with the 8-dim physical vector
+    /// (`n_i = (T_i, x_phys_i)`, eq. 2).
+    pub fn node_features(&self, tag: &Tag) -> Tensor {
+        let vocab = Self::vocab();
+        let n = tag.len();
+        let dim = self.config.embed_dim + 8;
+        let mut out = Tensor::zeros(n, dim);
+        for i in 0..n {
+            if self.text_scale != 0.0 {
+                let toks = tag.node_tokens(&vocab, i, self.config.max_tokens, false);
+                let text = self.exprllm.encode(&toks);
+                for (c, v) in text.data.iter().enumerate() {
+                    out.data[i * dim + c] = v * self.text_scale;
+                }
+            }
+            let phys = tag.nodes[i].phys.feature_vector();
+            out.data[i * dim + self.config.embed_dim..(i + 1) * dim].copy_from_slice(&phys);
+        }
+        out
+    }
+
+    /// Embeds a TAG (inference): per-gate + graph embeddings.
+    pub fn embed_tag(&self, tag: &Tag) -> TagEmbedding {
+        let features = self.node_features(tag);
+        self.embed_tag_with_features(tag, &features)
+    }
+
+    /// Embeds a TAG from pre-computed node features (saves recomputing the
+    /// frozen ExprLLM pass when the caller also needs the raw features).
+    pub fn embed_tag_with_features(&self, tag: &Tag, features: &Tensor) -> TagEmbedding {
+        let (nodes, cls) = self.tagformer.encode(features, &tag.edges);
+        TagEmbedding { nodes, cls }
+    }
+
+    /// Embeds a full netlist at circuit granularity. Sequential circuits
+    /// are chunked into register cones whose `[CLS]` embeddings are
+    /// *summed* (paper Sec. II-F); combinational circuits embed directly.
+    ///
+    /// `phys` optionally supplies sign-off physical attributes per gate id;
+    /// otherwise synthesis estimates are used.
+    pub fn embed_circuit(&self, netlist: &Netlist, lib: &Library, phys: Option<&[PhysProps]>) -> Tensor {
+        let opts = self.tag_options();
+        if netlist.registers().is_empty() {
+            let tag = match phys {
+                Some(p) => Tag::from_netlist_with_phys(netlist, p, &opts),
+                None => Tag::from_netlist(netlist, lib, &opts),
+            };
+            return self.embed_tag(&tag).cls;
+        }
+        let mut total = Tensor::zeros(1, self.config.embed_dim);
+        for cone in chunk_into_cones(netlist) {
+            let sub = cone_to_netlist(netlist, &cone);
+            if sub.gate_count() < 2 {
+                continue;
+            }
+            let tag = match phys {
+                Some(p) => {
+                    // Map parent-gate phys onto cone gates by name.
+                    let by_name: std::collections::HashMap<&str, PhysProps> = netlist
+                        .iter()
+                        .map(|(id, g)| (g.name.as_str(), p[id.index()]))
+                        .collect();
+                    let fallback = nettag_netlist::synthesis_phys_estimates(&sub, lib);
+                    let props: Vec<PhysProps> = sub
+                        .iter()
+                        .map(|(id, g)| {
+                            by_name
+                                .get(g.name.as_str())
+                                .copied()
+                                .unwrap_or(fallback[id.index()])
+                        })
+                        .collect();
+                    Tag::from_netlist_with_phys(&sub, &props, &opts)
+                }
+                None => Tag::from_netlist(&sub, lib, &opts),
+            };
+            total.add_assign(&self.embed_tag(&tag).cls);
+        }
+        total
+    }
+
+    /// Embeds one register cone of a netlist (cone granularity).
+    pub fn embed_cone(&self, netlist: &Netlist, lib: &Library, cone: &nettag_netlist::Cone) -> Tensor {
+        let sub = cone_to_netlist(netlist, cone);
+        let tag = Tag::from_netlist(&sub, lib, &self.tag_options());
+        self.embed_tag(&tag).cls
+    }
+}
+
+impl Layer for NetTag {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.exprllm.params_mut();
+        p.extend(self.tagformer.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettag_netlist::CellKind;
+
+    fn seq_design() -> Netlist {
+        let mut n = Netlist::new("m");
+        let a = n.add_gate("a", CellKind::Input, vec![]);
+        let b = n.add_gate("b", CellKind::Input, vec![]);
+        let x = n.add_gate("X", CellKind::Xor2, vec![a, b]);
+        let r1 = n.add_gate("R1", CellKind::Dff, vec![x]);
+        let o = n.add_gate("O", CellKind::Or2, vec![r1, a]);
+        let _r2 = n.add_gate("R2", CellKind::Dff, vec![o]);
+        n.add_gate("y", CellKind::Output, vec![r1]);
+        n.validate().expect("valid")
+    }
+
+    #[test]
+    fn embed_tag_has_gate_and_graph_grains() {
+        let model = NetTag::new(NetTagConfig::tiny());
+        let lib = Library::default();
+        let n = seq_design();
+        let tag = Tag::from_netlist(&n, &lib, &model.tag_options());
+        let emb = model.embed_tag(&tag);
+        assert_eq!(emb.nodes.rows, n.gate_count());
+        assert_eq!(emb.cls.cols, model.config.embed_dim);
+    }
+
+    #[test]
+    fn circuit_embedding_sums_cones() {
+        let model = NetTag::new(NetTagConfig::tiny());
+        let lib = Library::default();
+        let n = seq_design();
+        let e = model.embed_circuit(&n, &lib, None);
+        assert_eq!((e.rows, e.cols), (1, model.config.embed_dim));
+        assert!(e.data.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn different_circuits_embed_differently() {
+        let model = NetTag::new(NetTagConfig::tiny());
+        let lib = Library::default();
+        let n1 = seq_design();
+        let mut n2 = Netlist::new("m2");
+        let a = n2.add_gate("a", CellKind::Input, vec![]);
+        let g = n2.add_gate("G", CellKind::Inv, vec![a]);
+        n2.add_gate("y", CellKind::Output, vec![g]);
+        let n2 = n2.validate().expect("valid");
+        let e1 = model.embed_circuit(&n1, &lib, None);
+        let e2 = model.embed_circuit(&n2, &lib, None);
+        assert_ne!(e1.data, e2.data);
+    }
+}

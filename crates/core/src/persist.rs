@@ -1,0 +1,106 @@
+//! Model checkpointing.
+//!
+//! The paper releases its pre-trained NetTAG so users can "easily generate
+//! and fine-tune embeddings for their own netlist tasks" (footnote 1);
+//! this module provides the same affordance: JSON checkpoints of the full
+//! model (weights + optimizer moments + configuration).
+
+use crate::nettag::NetTag;
+use std::fmt;
+use std::path::Path;
+
+/// Error saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Serialization/deserialization error.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(e) => write!(f, "checkpoint format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Format(e)
+    }
+}
+
+/// Saves a pre-trained model to a JSON checkpoint.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on filesystem or serialization failure.
+pub fn save_checkpoint(model: &NetTag, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let file = std::fs::File::create(path)?;
+    let writer = std::io::BufWriter::new(file);
+    serde_json::to_writer(writer, model)?;
+    Ok(())
+}
+
+/// Loads a model from a JSON checkpoint.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on filesystem or deserialization failure.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<NetTag, CheckpointError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    Ok(serde_json::from_reader(reader)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetTagConfig;
+    use nettag_netlist::{CellKind, Library, Netlist, Tag};
+
+    fn example_netlist() -> Netlist {
+        let mut n = Netlist::new("ck");
+        let a = n.add_gate("a", CellKind::Input, vec![]);
+        let b = n.add_gate("b", CellKind::Input, vec![]);
+        let g = n.add_gate("G", CellKind::Nand2, vec![a, b]);
+        n.add_gate("y", CellKind::Output, vec![g]);
+        n.validate().expect("valid")
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_embeddings() {
+        let model = NetTag::new(NetTagConfig::tiny());
+        let dir = std::env::temp_dir().join("nettag_ckpt_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("model.json");
+        save_checkpoint(&model, &path).expect("save");
+        let loaded = load_checkpoint(&path).expect("load");
+        let lib = Library::default();
+        let n = example_netlist();
+        let tag = Tag::from_netlist(&n, &lib, &model.tag_options());
+        let e1 = model.embed_tag(&tag);
+        let e2 = loaded.embed_tag(&tag);
+        assert_eq!(e1.cls.data, e2.cls.data);
+        assert_eq!(e1.nodes.data, e2.nodes.data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_reports_io_error() {
+        let err = load_checkpoint("/definitely/not/here.json").expect_err("must fail");
+        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration tests of the cross-stage alignment machinery: after step-2
+//! pre-training with alignment enabled, netlist cone embeddings should sit
+//! closer to their own RTL/layout counterparts than to mismatched ones
+//! (the property eq. 7 optimizes).
+
+use nettag_core::data::{build_pretrain_data, DataConfig};
+use nettag_core::{
+    freeze_cone_features, pretrain_tagformer, rtl_vocab, LayoutEncoder, NetTag, NetTagConfig,
+    PretrainConfig, PretrainHeads, RtlEncoder,
+};
+use nettag_netlist::Library;
+use nettag_synth::{generate_design, Family, GenerateConfig};
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    dot / (na * nb).max(1e-9)
+}
+
+#[test]
+fn alignment_pulls_matching_stages_together() {
+    let lib = Library::default();
+    let designs: Vec<_> = (0..3)
+        .map(|i| generate_design(Family::VexRiscv, i, 17, &GenerateConfig::default()))
+        .collect();
+    let data = build_pretrain_data(
+        &designs,
+        &lib,
+        &DataConfig {
+            max_cones_per_design: 4,
+            ..DataConfig::default()
+        },
+    );
+    assert!(data.cones.len() >= 4, "need several cones");
+    let mut model = NetTag::new(NetTagConfig::tiny());
+    let rtl_voc = rtl_vocab();
+    let mut heads = PretrainHeads::new(model.config.embed_dim, 1);
+    let mut rtl_enc = RtlEncoder::new(&rtl_voc, &model.config);
+    let mut layout_enc = LayoutEncoder::new(&model.config);
+    let frozen = freeze_cone_features(&model, &data, &rtl_voc);
+    let config = PretrainConfig {
+        step2_steps: 40,
+        step2_batch: 4,
+        ..PretrainConfig::default()
+    };
+    let losses = pretrain_tagformer(
+        &mut model,
+        &mut heads,
+        &mut rtl_enc,
+        &mut layout_enc,
+        &data,
+        &frozen,
+        &config,
+    );
+    assert!(!losses.is_empty());
+    assert!(
+        losses.last().expect("non-empty") < losses.first().expect("non-empty"),
+        "combined step-2 loss should fall: {:?} -> {:?}",
+        losses.first(),
+        losses.last()
+    );
+    // Alignment check: average cosine of matched (netlist, layout) pairs
+    // should exceed average cosine of mismatched pairs.
+    let k = data.cones.len().min(6);
+    let mut matched = 0.0f32;
+    let mut mismatched = 0.0f32;
+    let mut pairs = 0;
+    let embeddings: Vec<Vec<f32>> = data.cones[..k]
+        .iter()
+        .map(|c| model.embed_tag(&c.tag).cls.data.clone())
+        .collect();
+    let layouts: Vec<Vec<f32>> = data.cones[..k]
+        .iter()
+        .map(|c| layout_enc.encode(&c.layout, c.die).data.clone())
+        .collect();
+    for i in 0..k {
+        for j in 0..k {
+            let c = cosine(&embeddings[i], &layouts[j]);
+            if i == j {
+                matched += c;
+            } else {
+                mismatched += c;
+                pairs += 1;
+            }
+        }
+    }
+    let matched_avg = matched / k as f32;
+    let mismatched_avg = mismatched / pairs.max(1) as f32;
+    assert!(
+        matched_avg > mismatched_avg - 0.05,
+        "matched {matched_avg} should not trail mismatched {mismatched_avg}"
+    );
+}
+
+#[test]
+fn rtl_encoder_separates_cone_texts() {
+    let d = generate_design(Family::Itc99, 0, 17, &GenerateConfig::default());
+    let regs = d.netlist.registers();
+    assert!(regs.len() >= 2);
+    let t1 = nettag_core::data::rtl_cone_text(&d.rtl, &d.netlist.gate(regs[0]).name);
+    let t2 =
+        nettag_core::data::rtl_cone_text(&d.rtl, &d.netlist.gate(regs[regs.len() - 1]).name);
+    let vocab = rtl_vocab();
+    let enc = RtlEncoder::new(&vocab, &NetTagConfig::tiny());
+    let e1 = enc.encode(&vocab, &t1);
+    let e2 = enc.encode(&vocab, &t2);
+    assert_ne!(e1.data, e2.data, "different cones embed differently");
+}

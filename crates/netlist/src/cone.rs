@@ -1,0 +1,229 @@
+//! Register-cone chunking (paper Sec. II-B, "Chunking sequential circuit
+//! into register cones").
+//!
+//! For each register we backtrace through all driving combinational logic
+//! up to other registers or primary inputs, producing a subcircuit that
+//! captures the register's complete state-transition function. Chunking is
+//! what lets NetTAG scale to large sequential designs and what defines the
+//! functionally-equivalent units aligned across RTL / netlist / layout.
+
+use crate::cell::CellKind;
+use crate::graph::{GateId, Netlist};
+use crate::traverse::backward_cone;
+
+/// A register cone: the combinational fan-in of one register's D pin.
+#[derive(Debug, Clone)]
+pub struct Cone {
+    /// The register this cone drives.
+    pub root: GateId,
+    /// All member gates (root register + combinational logic + frontier),
+    /// in arbitrary order.
+    pub gates: Vec<GateId>,
+    /// Frontier gates: registers and primary inputs whose *outputs* feed
+    /// the cone (treated as free variables of the transition function).
+    pub frontier: Vec<GateId>,
+}
+
+impl Cone {
+    /// Number of gates inside the cone (excluding the frontier).
+    pub fn logic_size(&self) -> usize {
+        self.gates.len() - self.frontier.len()
+    }
+}
+
+/// Extracts the register cone rooted at `reg`.
+///
+/// # Panics
+///
+/// Panics if `reg` is not a sequential gate.
+pub fn register_cone(netlist: &Netlist, reg: GateId) -> Cone {
+    assert!(
+        netlist.gate(reg).kind.is_sequential(),
+        "register_cone root must be sequential"
+    );
+    let gates = backward_cone(netlist, reg);
+    let mut frontier: Vec<GateId> = gates
+        .iter()
+        .copied()
+        .filter(|&g| {
+            let k = netlist.gate(g).kind;
+            (k.is_sequential() && g != reg) || k == CellKind::Input
+        })
+        .collect();
+    // A register can feed its own next-state logic (e.g. a toggle flop);
+    // its previous-cycle output is then a free variable of the transition
+    // function, so the root joins the frontier too.
+    let root_feeds_logic = gates
+        .iter()
+        .filter(|&&g| g != reg)
+        .any(|&g| netlist.gate(g).fanin.contains(&reg));
+    if root_feeds_logic {
+        frontier.push(reg);
+    }
+    Cone {
+        root: reg,
+        gates,
+        frontier,
+    }
+}
+
+/// Chunks a sequential netlist into one cone per register.
+///
+/// Combinational designs (no registers) yield a single pseudo-cone per
+/// primary output instead, so downstream code can treat both uniformly.
+pub fn chunk_into_cones(netlist: &Netlist) -> Vec<Cone> {
+    let regs = netlist.registers();
+    if regs.is_empty() {
+        return netlist
+            .outputs()
+            .into_iter()
+            .map(|out| {
+                let gates = backward_cone(netlist, out);
+                let frontier = gates
+                    .iter()
+                    .copied()
+                    .filter(|&g| netlist.gate(g).kind == CellKind::Input)
+                    .collect();
+                Cone {
+                    root: out,
+                    gates,
+                    frontier,
+                }
+            })
+            .collect();
+    }
+    regs.into_iter()
+        .map(|r| register_cone(netlist, r))
+        .collect()
+}
+
+/// Materializes a cone as a standalone combinational netlist: frontier
+/// gates become primary inputs, the root's captured value becomes the
+/// primary output. Gate names are preserved so symbolic expressions match
+/// across the parent netlist and the extracted cone.
+pub fn cone_to_netlist(netlist: &Netlist, cone: &Cone) -> Netlist {
+    let mut out = Netlist::new(format!(
+        "{}__cone_{}",
+        netlist.name(),
+        netlist.gate(cone.root).name
+    ));
+    let mut map = std::collections::HashMap::new();
+    // Frontier first, as inputs (this may include the root register itself
+    // when it feeds its own next-state logic).
+    for &f in &cone.frontier {
+        let new = out.add_gate(netlist.gate(f).name.clone(), CellKind::Input, vec![]);
+        map.insert(f, new);
+    }
+    let members: std::collections::HashSet<GateId> = cone.gates.iter().copied().collect();
+    // Interior combinational gates in topological order of the parent so
+    // fan-ins are mapped before sinks.
+    let order = crate::traverse::topo_order(netlist);
+    for id in order {
+        if !members.contains(&id) || map.contains_key(&id) || id == cone.root {
+            continue;
+        }
+        let g = netlist.gate(id);
+        let fanin = g.fanin.iter().map(|f| map[f]).collect();
+        let new = out.add_gate(g.name.clone(), g.kind, fanin);
+        map.insert(id, new);
+    }
+    // The root register's D input becomes the primary output.
+    let root_gate = netlist.gate(cone.root);
+    let d = root_gate.fanin.first().copied();
+    let driver = match d {
+        Some(d) => map.get(&d).copied(),
+        None => None,
+    };
+    if let Some(driver) = driver {
+        out.add_gate(format!("{}_next", root_gate.name), CellKind::Output, vec![driver]);
+    }
+    out.validate().expect("cone extraction preserves acyclicity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    /// Two registers with cross-coupled next-state logic:
+    /// R1' = R1 ^ in, R2' = R1 & R2.
+    fn two_regs() -> Netlist {
+        let mut n = Netlist::new("two_regs");
+        let inp = n.add_gate("in", CellKind::Input, vec![]);
+        let r1 = GateId(1);
+        let r2 = GateId(2);
+        let x = GateId(3);
+        let a = GateId(4);
+        n.add_gate("R1", CellKind::Dff, vec![x]);
+        n.add_gate("R2", CellKind::Dff, vec![a]);
+        n.add_gate("X", CellKind::Xor2, vec![r1, inp]);
+        n.add_gate("A", CellKind::And2, vec![r1, r2]);
+        n.validate().expect("valid")
+    }
+
+    #[test]
+    fn chunking_yields_one_cone_per_register() {
+        let n = two_regs();
+        let cones = chunk_into_cones(&n);
+        assert_eq!(cones.len(), 2);
+    }
+
+    #[test]
+    fn cone_frontier_contains_other_registers_and_inputs() {
+        let n = two_regs();
+        let r1 = n.find("R1").expect("exists");
+        let cone = register_cone(&n, r1);
+        let names: Vec<&str> = cone
+            .frontier
+            .iter()
+            .map(|&g| n.gate(g).name.as_str())
+            .collect();
+        // R1' = R1 ^ in: the cone reads both the input and R1's own
+        // previous value, so R1 joins its own frontier.
+        assert!(names.contains(&"in"));
+        assert!(names.contains(&"R1"));
+    }
+
+    #[test]
+    fn cone_to_netlist_is_selfcontained_combinational() {
+        let n = two_regs();
+        let r2 = n.find("R2").expect("exists");
+        let cone = register_cone(&n, r2);
+        let sub = cone_to_netlist(&n, &cone);
+        assert!(sub.registers().is_empty(), "cone netlists are combinational");
+        // Frontier registers became inputs named like the originals.
+        assert!(sub.find("R1").is_some());
+        let r1_in = sub.find("R1").expect("exists");
+        assert_eq!(sub.gate(r1_in).kind, CellKind::Input);
+        // And the output exists.
+        assert!(sub.find("R2_next").is_some());
+        assert_eq!(sub.outputs().len(), 1);
+    }
+
+    #[test]
+    fn combinational_design_chunks_per_output() {
+        let mut n = Netlist::new("comb");
+        let a = n.add_gate("a", CellKind::Input, vec![]);
+        let b = n.add_gate("b", CellKind::Input, vec![]);
+        let g = n.add_gate("U1", CellKind::Or2, vec![a, b]);
+        n.add_gate("y1", CellKind::Output, vec![g]);
+        n.add_gate("y2", CellKind::Output, vec![a]);
+        let n = n.validate().expect("valid");
+        let cones = chunk_into_cones(&n);
+        assert_eq!(cones.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_register_includes_itself_in_logic() {
+        // R' = !R (toggle flop).
+        let mut n = Netlist::new("toggle");
+        let r = GateId(0);
+        let inv = GateId(1);
+        n.add_gate("R", CellKind::Dff, vec![inv]);
+        n.add_gate("N", CellKind::Inv, vec![r]);
+        let n = n.validate().expect("valid");
+        let cone = register_cone(&n, r);
+        assert!(cone.gates.contains(&r));
+        assert!(cone.gates.contains(&inv));
+    }
+}

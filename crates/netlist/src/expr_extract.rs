@@ -1,0 +1,187 @@
+//! Symbolic expression extraction (paper Sec. II-B).
+//!
+//! For each gate we derive a symbolic logic expression from its k-hop
+//! fan-in cone: gates at the cone frontier appear as free variables (their
+//! instance names), interior gates are composed through their cells'
+//! Boolean functions. The paper uses k = 2 "to balance the expression
+//! expansion and runtime" (footnote 3); `k` is a parameter here so the
+//! ablation harness can sweep it.
+
+use crate::cell::CellKind;
+use crate::graph::{GateId, Netlist};
+use crate::traverse::k_hop_fanin;
+use nettag_expr::{simplify, Expr};
+use std::collections::HashMap;
+
+/// Extracts the k-hop symbolic expression of one gate.
+///
+/// The result is expressed over the instance names of frontier drivers
+/// (gates exactly `k` hops away, registers, inputs, or constants), e.g. the
+/// paper's 2-hop NOR example `U3 = !((R1 ^ R2) | !R2)`.
+///
+/// Pseudo-cells and registers return their own name as a variable (their
+/// output is a free value at the netlist stage).
+///
+/// # Panics
+///
+/// Panics if `k == 0` (a 0-hop expression would be the gate's own name,
+/// which carries no functional content).
+pub fn gate_expr(netlist: &Netlist, gate: GateId, k: usize) -> Expr {
+    assert!(k >= 1, "expression extraction needs k >= 1 hops");
+    let g = netlist.gate(gate);
+    if g.kind == CellKind::Input || g.kind.is_sequential() {
+        return Expr::var(&g.name);
+    }
+    if g.kind == CellKind::Const0 {
+        return Expr::FALSE;
+    }
+    if g.kind == CellKind::Const1 {
+        return Expr::TRUE;
+    }
+    let hops: HashMap<GateId, usize> = k_hop_fanin(netlist, gate, k).into_iter().collect();
+    let mut memo: HashMap<GateId, Expr> = HashMap::new();
+    // The target gate itself always expands (depth 0 < k), so we can enter
+    // through the generic builder.
+    let e = build(netlist, gate, k, &hops, &mut memo);
+    simplify(&e)
+}
+
+fn build(
+    netlist: &Netlist,
+    id: GateId,
+    k: usize,
+    hops: &HashMap<GateId, usize>,
+    memo: &mut HashMap<GateId, Expr>,
+) -> Expr {
+    if let Some(e) = memo.get(&id) {
+        return e.clone();
+    }
+    // Gates at the hop horizon (or outside the BFS region entirely) are
+    // frontier variables.
+    let depth = hops.get(&id).copied().unwrap_or(k);
+    let e = if depth >= k {
+        Expr::var(&netlist.gate(id).name)
+    } else {
+        local_expr(netlist, id, k, hops, memo)
+    };
+    memo.insert(id, e.clone());
+    e
+}
+
+fn local_expr(
+    netlist: &Netlist,
+    id: GateId,
+    k: usize,
+    hops: &HashMap<GateId, usize>,
+    memo: &mut HashMap<GateId, Expr>,
+) -> Expr {
+    let g = netlist.gate(id);
+    match g.kind {
+        CellKind::Input | CellKind::Dff | CellKind::DffE | CellKind::DffR => Expr::var(&g.name),
+        CellKind::Const0 => Expr::FALSE,
+        CellKind::Const1 => Expr::TRUE,
+        kind => {
+            let ins: Vec<Expr> = g
+                .fanin
+                .iter()
+                .map(|&f| build(netlist, f, k, hops, memo))
+                .collect();
+            kind.expr(&ins)
+        }
+    }
+}
+
+/// Extracts `name = expr` assignment strings for every mapped combinational
+/// gate, the raw material of the paper's 313k-expression dataset.
+pub fn all_gate_exprs(netlist: &Netlist, k: usize) -> Vec<(GateId, Expr)> {
+    netlist
+        .iter()
+        .filter(|(_, g)| g.kind.is_combinational())
+        .map(|(id, _)| (id, gate_expr(netlist, id, k)))
+        .collect()
+}
+
+/// Renders the paper-style assignment text `U3 = !((R1 ^ R2) | !R2)`.
+pub fn expr_assignment_text(netlist: &Netlist, gate: GateId, expr: &Expr) -> String {
+    format!("{} = {}", netlist.gate(gate).name, expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use nettag_expr::{equivalent, parse_expr};
+
+    /// Reconstructs the paper's Fig. 3(b) cone:
+    /// R1, R2 registers; X = XOR2(R1, R2); N = INV(R2); U3 = NOR2(X, N).
+    fn paper_cone() -> Netlist {
+        let mut n = Netlist::new("fig3b");
+        let d = n.add_gate("d", CellKind::Input, vec![]);
+        let r1 = n.add_gate("R1", CellKind::Dff, vec![d]);
+        let r2 = n.add_gate("R2", CellKind::Dff, vec![d]);
+        let x = n.add_gate("X", CellKind::Xor2, vec![r1, r2]);
+        let inv = n.add_gate("N", CellKind::Inv, vec![r2]);
+        let u3 = n.add_gate("U3", CellKind::Nor2, vec![x, inv]);
+        n.add_gate("y", CellKind::Output, vec![u3]);
+        n.validate().expect("valid")
+    }
+
+    #[test]
+    fn reproduces_paper_running_example() {
+        let n = paper_cone();
+        let u3 = n.find("U3").expect("exists");
+        let e = gate_expr(&n, u3, 2);
+        let expected = parse_expr("!((R1 ^ R2) | !R2)").expect("parses");
+        assert!(equivalent(&e, &expected), "got {e}");
+        // Simplification may compress, but semantics must hold; the paper
+        // form itself is equivalent to R1 & R2 — check against that too.
+        assert!(equivalent(&e, &parse_expr("R1 & R2").expect("parses")));
+    }
+
+    #[test]
+    fn one_hop_stops_at_immediate_drivers() {
+        let n = paper_cone();
+        let u3 = n.find("U3").expect("exists");
+        let e = gate_expr(&n, u3, 1);
+        // Frontier = {X, N}: expression is NOR over those names.
+        let expected = parse_expr("!(X | N)").expect("parses");
+        assert!(equivalent(&e, &expected), "got {e}");
+    }
+
+    #[test]
+    fn registers_and_inputs_are_free_variables() {
+        let n = paper_cone();
+        let r1 = n.find("R1").expect("exists");
+        assert_eq!(gate_expr(&n, r1, 2), Expr::var("R1"));
+        let d = n.find("d").expect("exists");
+        assert_eq!(gate_expr(&n, d, 2), Expr::var("d"));
+    }
+
+    #[test]
+    fn all_gate_exprs_covers_combinational_gates_only() {
+        let n = paper_cone();
+        let exprs = all_gate_exprs(&n, 2);
+        // X, N, U3 are combinational; inputs/registers/outputs are not.
+        assert_eq!(exprs.len(), 3);
+    }
+
+    #[test]
+    fn assignment_text_matches_paper_format() {
+        let n = paper_cone();
+        let u3 = n.find("U3").expect("exists");
+        let e = gate_expr(&n, u3, 1);
+        let text = expr_assignment_text(&n, u3, &e);
+        assert!(text.starts_with("U3 = "), "got {text}");
+    }
+
+    #[test]
+    fn larger_k_never_shrinks_support_depth() {
+        let n = paper_cone();
+        let u3 = n.find("U3").expect("exists");
+        let e1 = gate_expr(&n, u3, 1);
+        let e2 = gate_expr(&n, u3, 2);
+        // 1-hop support mentions internal names; 2-hop reaches registers.
+        assert!(e1.support().iter().any(|v| v.as_ref() == "X"));
+        assert!(e2.support().iter().all(|v| v.as_ref() != "X"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of netlist invariants: random DAG construction,
+//! cone chunking coverage, AIG lowering equivalence, and Verilog
+//! round-trips.
+
+use nettag_netlist::{
+    aig_to_netlist, chunk_into_cones, gate_expr, netlist_to_aig, parse_verilog, simulate_comb,
+    write_verilog, Aig, CellKind, GateId, Netlist, NetlistStats,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy: a random well-formed netlist built layer by layer.
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..5, 3usize..18, any::<u64>()).prop_map(|(n_inputs, n_gates, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = Netlist::new("prop");
+        let mut pool: Vec<GateId> = (0..n_inputs)
+            .map(|i| n.add_gate(format!("i{i}"), CellKind::Input, vec![]))
+            .collect();
+        let kinds = [
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::Mux2,
+            CellKind::Aoi21,
+            CellKind::FaSum,
+            CellKind::FaCarry,
+            CellKind::Dff,
+        ];
+        for g in 0..n_gates {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            // Registers need placeholder D pins resolved later; keep it
+            // simple: registers read an existing pool gate (acyclic).
+            let fanin: Vec<GateId> = (0..kind.arity())
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect();
+            let id = n.add_gate(format!("g{g}"), kind, fanin);
+            pool.push(id);
+        }
+        let last = *pool.last().expect("non-empty");
+        n.add_gate("y", CellKind::Output, vec![last]);
+        n.validate().expect("layered construction is acyclic")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cone chunking covers every register exactly once and cone netlists
+    /// are combinational and well-formed.
+    #[test]
+    fn chunking_covers_registers(n in arb_netlist()) {
+        let cones = chunk_into_cones(&n);
+        let regs = n.registers();
+        if !regs.is_empty() {
+            prop_assert_eq!(cones.len(), regs.len());
+        }
+        for c in &cones {
+            let sub = nettag_netlist::cone_to_netlist(&n, c);
+            prop_assert!(sub.registers().is_empty());
+        }
+    }
+
+    /// AIG lowering agrees with direct gate-level simulation on random
+    /// stimulus: outputs and register next-state functions match.
+    #[test]
+    fn aig_lowering_matches_simulation(n in arb_netlist(), seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let aig = netlist_to_aig(&n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // One random assignment for all AIG inputs (netlist PIs + regs).
+        let mut values: HashMap<&str, bool> = HashMap::new();
+        let mut patterns = Vec::new();
+        for name in &aig.inputs {
+            let v = rng.gen_bool(0.5);
+            values.insert(name.as_str(), v);
+            patterns.push(if v { !0u64 } else { 0 });
+        }
+        let sim = aig.simulate(&patterns);
+        // Netlist-side simulation with matching sources.
+        let mut sources = HashMap::new();
+        for (id, g) in n.iter() {
+            if g.kind == CellKind::Input || g.kind.is_sequential() {
+                if let Some(&v) = values.get(g.name.as_str()) {
+                    sources.insert(id, v);
+                }
+            }
+        }
+        let net_values = simulate_comb(&n, &sources);
+        for (name, lit) in &aig.outputs {
+            let aig_bit = Aig::lit_value(&sim, *lit) & 1 == 1;
+            let expected = if let Some(reg_name) = name.strip_suffix("_next") {
+                let reg = n.find(reg_name).expect("register exists");
+                net_values[n.gate(reg).fanin[0].index()]
+            } else {
+                let out = n.find(name).expect("output exists");
+                net_values[out.index()]
+            };
+            prop_assert_eq!(aig_bit, expected, "output {}", name);
+        }
+    }
+
+    /// AIG → netlist re-expression preserves node counts sensibly and
+    /// validates.
+    #[test]
+    fn aig_netlist_is_wellformed(n in arb_netlist()) {
+        let aig = netlist_to_aig(&n);
+        let (an, vars) = aig_to_netlist(&aig, "aign");
+        prop_assert_eq!(vars.len(), an.gate_count());
+        for (_, g) in an.iter() {
+            prop_assert!(matches!(
+                g.kind,
+                CellKind::And2 | CellKind::Inv | CellKind::Input | CellKind::Output | CellKind::Const0
+            ));
+        }
+    }
+
+    /// Verilog round-trip preserves structure for random netlists.
+    #[test]
+    fn verilog_roundtrip(n in arb_netlist()) {
+        let text = write_verilog(&n);
+        let parsed = parse_verilog(&text).expect("round-trip parses");
+        let s1 = NetlistStats::of(&n);
+        let s2 = NetlistStats::of(&parsed);
+        prop_assert_eq!(s1.nodes, s2.nodes);
+        prop_assert_eq!(s1.edges, s2.edges);
+        prop_assert_eq!(s1.kind_counts, s2.kind_counts);
+    }
+
+    /// Symbolic gate expressions agree with gate-level simulation: for a
+    /// random gate, evaluating its k-hop expression under the simulated
+    /// frontier values reproduces the simulated gate output.
+    #[test]
+    fn gate_expressions_match_simulation(n in arb_netlist(), seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sources = HashMap::new();
+        for (id, g) in n.iter() {
+            if g.kind == CellKind::Input || g.kind.is_sequential() {
+                sources.insert(id, rng.gen_bool(0.5));
+            }
+        }
+        let values = simulate_comb(&n, &sources);
+        for (id, g) in n.iter() {
+            if !g.kind.is_combinational() {
+                continue;
+            }
+            let e = gate_expr(&n, id, 2);
+            // Bind every variable in the expression to its simulated value.
+            let mut env = HashMap::new();
+            for v in e.support() {
+                let src = n.find(&v).expect("expression vars are gate names");
+                env.insert(v.clone(), values[src.index()]);
+            }
+            prop_assert_eq!(
+                nettag_expr::eval(&e, &env),
+                values[id.index()],
+                "gate {} expr {}",
+                g.name,
+                e
+            );
+        }
+    }
+}

@@ -1,0 +1,743 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every forward operation as a node with enough saved
+//! state to replay its adjoint; [`Graph::backward`] walks the tape in
+//! reverse, accumulating gradients. Parameters are leaves tagged with a
+//! key so optimizers can collect their gradients after the pass.
+
+use crate::tensor::{SparseMatrix, Tensor};
+use std::rc::Rc;
+
+/// Index of a node in the tape.
+pub type NodeId = usize;
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_C: f32 = 0.044_715;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    MatMul(NodeId, NodeId),
+    MatMulBt(NodeId, NodeId),
+    SpMm(Rc<SparseMatrix>, NodeId),
+    Add(NodeId, NodeId),
+    AddRow(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Scale(NodeId, f32),
+    Relu(NodeId),
+    Gelu(NodeId),
+    Tanh(NodeId),
+    ConcatCols(Vec<NodeId>),
+    GatherRows(NodeId, Rc<Vec<u32>>),
+    LayerNorm {
+        x: NodeId,
+        gain: NodeId,
+        bias: NodeId,
+        xhat: Tensor,
+        inv_std: Vec<f32>,
+    },
+    MeanRows(NodeId),
+    SelectRow(NodeId, usize),
+    StackRows(Vec<NodeId>),
+    ConcatRows(Vec<NodeId>),
+    NormalizeRows {
+        x: NodeId,
+        norms: Vec<f32>,
+    },
+    SoftmaxRows(NodeId),
+    CrossEntropy {
+        logits: NodeId,
+        probs: Tensor,
+        targets: Rc<Vec<usize>>,
+    },
+    Mse {
+        pred: NodeId,
+        target: Tensor,
+    },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    param_key: Option<usize>,
+}
+
+/// The autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node {
+            value,
+            op,
+            param_key: None,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Inserts a constant leaf (no parameter gradient collected).
+    pub fn constant(&mut self, t: Tensor) -> NodeId {
+        self.push(t, Op::Leaf)
+    }
+
+    /// Inserts a parameter leaf tagged with `key`.
+    pub fn param(&mut self, key: usize, t: Tensor) -> NodeId {
+        let id = self.push(t, Op::Leaf);
+        self.nodes[id].param_key = Some(key);
+        id
+    }
+
+    /// The value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id].value
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.matmul(&self.nodes[b].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// `a @ b^T` — similarity matrices for contrastive losses.
+    pub fn matmul_bt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.matmul_bt(&self.nodes[b].value);
+        self.push(v, Op::MatMulBt(a, b))
+    }
+
+    /// Sparse adjacency propagation `adj @ x`.
+    pub fn spmm(&mut self, adj: Rc<SparseMatrix>, x: NodeId) -> NodeId {
+        let v = adj.matmul(&self.nodes[x].value);
+        self.push(v, Op::SpMm(adj, x))
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.zip(&self.nodes[b].value, |x, y| x + y);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Broadcast row add: `(n×c) + (1×c)`.
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (av, rv) = (&self.nodes[a].value, &self.nodes[row].value);
+        assert_eq!(rv.rows, 1, "add_row rhs must be 1×c");
+        assert_eq!(av.cols, rv.cols, "add_row width");
+        let mut v = av.clone();
+        for r in 0..v.rows {
+            for c in 0..v.cols {
+                *v.at_mut(r, c) += rv.at(0, c);
+            }
+        }
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.zip(&self.nodes[b].value, |x, y| x * y);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scalar scale.
+    pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
+        let v = self.nodes[a].value.map(|x| x * c);
+        self.push(v, Op::Scale(a, c))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.map(gelu);
+        self.push(v, Op::Gelu(a))
+    }
+
+    /// Tanh.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Concatenates tensors with equal row counts along columns.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let rows = self.nodes[parts[0]].value.rows;
+        let total: usize = parts.iter().map(|&p| self.nodes[p].value.cols).sum();
+        let mut v = Tensor::zeros(rows, total);
+        let mut off = 0;
+        for &p in parts {
+            let t = &self.nodes[p].value;
+            assert_eq!(t.rows, rows, "concat rows");
+            for r in 0..rows {
+                let dst = &mut v.data[r * total + off..r * total + off + t.cols];
+                dst.copy_from_slice(t.row_slice(r));
+            }
+            off += t.cols;
+        }
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Embedding lookup: selects `ids` rows of `table`.
+    pub fn gather_rows(&mut self, table: NodeId, ids: Rc<Vec<u32>>) -> NodeId {
+        let t = &self.nodes[table].value;
+        let mut v = Tensor::zeros(ids.len(), t.cols);
+        for (r, &id) in ids.iter().enumerate() {
+            let dst = &mut v.data[r * t.cols..(r + 1) * t.cols];
+            dst.copy_from_slice(t.row_slice(id as usize));
+        }
+        self.push(v, Op::GatherRows(table, ids))
+    }
+
+    /// Row-wise layer normalization with learned gain/bias (both 1×c).
+    pub fn layer_norm(&mut self, x: NodeId, gain: NodeId, bias: NodeId) -> NodeId {
+        const EPS: f32 = 1e-5;
+        let xv = &self.nodes[x].value;
+        let gv = &self.nodes[gain].value;
+        let bv = &self.nodes[bias].value;
+        let mut xhat = Tensor::zeros(xv.rows, xv.cols);
+        let mut inv_std = vec![0.0f32; xv.rows];
+        let mut out = Tensor::zeros(xv.rows, xv.cols);
+        for r in 0..xv.rows {
+            let row = xv.row_slice(r);
+            let mean = row.iter().sum::<f32>() / xv.cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / xv.cols as f32;
+            let istd = 1.0 / (var + EPS).sqrt();
+            inv_std[r] = istd;
+            for c in 0..xv.cols {
+                let xh = (row[c] - mean) * istd;
+                *xhat.at_mut(r, c) = xh;
+                *out.at_mut(r, c) = xh * gv.at(0, c) + bv.at(0, c);
+            }
+        }
+        self.push(
+            out,
+            Op::LayerNorm {
+                x,
+                gain,
+                bias,
+                xhat,
+                inv_std,
+            },
+        )
+    }
+
+    /// Mean over rows: `(n×c) -> (1×c)`.
+    pub fn mean_rows(&mut self, x: NodeId) -> NodeId {
+        let xv = &self.nodes[x].value;
+        let mut v = Tensor::zeros(1, xv.cols);
+        for r in 0..xv.rows {
+            for c in 0..xv.cols {
+                v.data[c] += xv.at(r, c);
+            }
+        }
+        let n = xv.rows.max(1) as f32;
+        for c in v.data.iter_mut() {
+            *c /= n;
+        }
+        self.push(v, Op::MeanRows(x))
+    }
+
+    /// Selects one row: `(n×c) -> (1×c)` (CLS pooling).
+    pub fn select_row(&mut self, x: NodeId, r: usize) -> NodeId {
+        let xv = &self.nodes[x].value;
+        let v = Tensor::row(xv.row_slice(r).to_vec());
+        self.push(v, Op::SelectRow(x, r))
+    }
+
+    /// Stacks 1×c rows into an n×c matrix.
+    pub fn stack_rows(&mut self, rows: &[NodeId]) -> NodeId {
+        assert!(!rows.is_empty(), "stack of nothing");
+        let cols = self.nodes[rows[0]].value.cols;
+        let mut v = Tensor::zeros(rows.len(), cols);
+        for (r, &id) in rows.iter().enumerate() {
+            let t = &self.nodes[id].value;
+            assert_eq!(t.rows, 1, "stack_rows expects 1×c rows");
+            assert_eq!(t.cols, cols, "stack_rows widths");
+            v.data[r * cols..(r + 1) * cols].copy_from_slice(&t.data);
+        }
+        self.push(v, Op::StackRows(rows.to_vec()))
+    }
+
+    /// Concatenates matrices with equal column counts along rows
+    /// (vertical stacking, e.g. appending a CLS node to node features).
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let cols = self.nodes[parts[0]].value.cols;
+        let total: usize = parts.iter().map(|&p| self.nodes[p].value.rows).sum();
+        let mut v = Tensor::zeros(total, cols);
+        let mut off = 0;
+        for &p in parts {
+            let t = &self.nodes[p].value;
+            assert_eq!(t.cols, cols, "concat_rows widths");
+            v.data[off * cols..(off + t.rows) * cols].copy_from_slice(&t.data);
+            off += t.rows;
+        }
+        self.push(v, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// L2-normalizes each row (contrastive embeddings).
+    pub fn normalize_rows(&mut self, x: NodeId) -> NodeId {
+        let xv = &self.nodes[x].value;
+        let mut norms = vec![0.0f32; xv.rows];
+        let mut v = xv.clone();
+        for r in 0..xv.rows {
+            let n = xv.row_slice(r).iter().map(|a| a * a).sum::<f32>().sqrt().max(1e-9);
+            norms[r] = n;
+            for c in 0..xv.cols {
+                *v.at_mut(r, c) /= n;
+            }
+        }
+        self.push(v, Op::NormalizeRows { x, norms })
+    }
+
+    /// Row-wise softmax (attention weights).
+    pub fn softmax_rows_op(&mut self, x: NodeId) -> NodeId {
+        let v = self.nodes[x].value.softmax_rows();
+        self.push(v, Op::SoftmaxRows(x))
+    }
+
+    /// Mean cross-entropy of row-wise logits against integer targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the logits row count.
+    pub fn cross_entropy(&mut self, logits: NodeId, targets: Rc<Vec<usize>>) -> NodeId {
+        let lv = &self.nodes[logits].value;
+        assert_eq!(lv.rows, targets.len(), "one target per row");
+        let probs = lv.softmax_rows();
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            loss -= probs.at(r, t).max(1e-12).ln();
+        }
+        loss /= targets.len().max(1) as f32;
+        self.push(
+            Tensor::scalar(loss),
+            Op::CrossEntropy {
+                logits,
+                probs,
+                targets,
+            },
+        )
+    }
+
+    /// Mean squared error against a constant target.
+    pub fn mse(&mut self, pred: NodeId, target: Tensor) -> NodeId {
+        let pv = &self.nodes[pred].value;
+        assert_eq!((pv.rows, pv.cols), (target.rows, target.cols), "mse shapes");
+        let n = pv.data.len().max(1) as f32;
+        let loss = pv
+            .data
+            .iter()
+            .zip(target.data.iter())
+            .map(|(&p, &t)| (p - t) * (p - t))
+            .sum::<f32>()
+            / n;
+        self.push(Tensor::scalar(loss), Op::Mse { pred, target })
+    }
+
+    /// Runs the backward pass from a scalar loss node; returns per-node
+    /// gradients (use [`Graph::param_grads`] to collect parameter grads).
+    pub fn backward(&self, loss: NodeId) -> Vec<Tensor> {
+        let mut grads: Vec<Tensor> = self
+            .nodes
+            .iter()
+            .map(|n| Tensor::zeros(n.value.rows, n.value.cols))
+            .collect();
+        grads[loss] = Tensor::scalar(1.0);
+        for id in (0..self.nodes.len()).rev() {
+            if grads[id].data.iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            let g_out = grads[id].clone();
+            match &self.nodes[id].op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let da = g_out.matmul_bt(&self.nodes[*b].value);
+                    let db = self.nodes[*a].value.matmul_at(&g_out);
+                    grads[*a].add_assign(&da);
+                    grads[*b].add_assign(&db);
+                }
+                Op::MatMulBt(a, b) => {
+                    let da = g_out.matmul(&self.nodes[*b].value);
+                    let db = g_out.matmul_at(&self.nodes[*a].value);
+                    grads[*a].add_assign(&da);
+                    grads[*b].add_assign(&db);
+                }
+                Op::SpMm(adj, x) => {
+                    let dx = adj.matmul_t(&g_out);
+                    grads[*x].add_assign(&dx);
+                }
+                Op::Add(a, b) => {
+                    grads[*a].add_assign(&g_out);
+                    grads[*b].add_assign(&g_out);
+                }
+                Op::AddRow(a, row) => {
+                    grads[*a].add_assign(&g_out);
+                    let mut dr = Tensor::zeros(1, g_out.cols);
+                    for r in 0..g_out.rows {
+                        for c in 0..g_out.cols {
+                            dr.data[c] += g_out.at(r, c);
+                        }
+                    }
+                    grads[*row].add_assign(&dr);
+                }
+                Op::Mul(a, b) => {
+                    let da = g_out.zip(&self.nodes[*b].value, |g, y| g * y);
+                    let db = g_out.zip(&self.nodes[*a].value, |g, x| g * x);
+                    grads[*a].add_assign(&da);
+                    grads[*b].add_assign(&db);
+                }
+                Op::Scale(a, c) => {
+                    let da = g_out.map(|g| g * c);
+                    grads[*a].add_assign(&da);
+                }
+                Op::Relu(a) => {
+                    let da = g_out.zip(&self.nodes[*a].value, |g, x| if x > 0.0 { g } else { 0.0 });
+                    grads[*a].add_assign(&da);
+                }
+                Op::Gelu(a) => {
+                    let da = g_out.zip(&self.nodes[*a].value, |g, x| g * gelu_grad(x));
+                    grads[*a].add_assign(&da);
+                }
+                Op::Tanh(a) => {
+                    let da = g_out.zip(&self.nodes[id].value, |g, y| g * (1.0 - y * y));
+                    grads[*a].add_assign(&da);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let cols = self.nodes[p].value.cols;
+                        let mut dp = Tensor::zeros(g_out.rows, cols);
+                        for r in 0..g_out.rows {
+                            let src = &g_out.data[r * g_out.cols + off..r * g_out.cols + off + cols];
+                            dp.data[r * cols..(r + 1) * cols].copy_from_slice(src);
+                        }
+                        grads[p].add_assign(&dp);
+                        off += cols;
+                    }
+                }
+                Op::GatherRows(table, ids) => {
+                    let cols = g_out.cols;
+                    let mut dt = Tensor::zeros(self.nodes[*table].value.rows, cols);
+                    for (r, &rid) in ids.iter().enumerate() {
+                        let dst = rid as usize * cols;
+                        for c in 0..cols {
+                            dt.data[dst + c] += g_out.at(r, c);
+                        }
+                    }
+                    grads[*table].add_assign(&dt);
+                }
+                Op::LayerNorm {
+                    x,
+                    gain,
+                    bias,
+                    xhat,
+                    inv_std,
+                } => {
+                    let gv = &self.nodes[*gain].value;
+                    let cols = g_out.cols as f32;
+                    let mut dx = Tensor::zeros(g_out.rows, g_out.cols);
+                    let mut dgain = Tensor::zeros(1, g_out.cols);
+                    let mut dbias = Tensor::zeros(1, g_out.cols);
+                    for r in 0..g_out.rows {
+                        let mut sum_gdy = 0.0f32;
+                        let mut sum_gdy_xhat = 0.0f32;
+                        for c in 0..g_out.cols {
+                            let gdy = g_out.at(r, c) * gv.at(0, c);
+                            sum_gdy += gdy;
+                            sum_gdy_xhat += gdy * xhat.at(r, c);
+                            dgain.data[c] += g_out.at(r, c) * xhat.at(r, c);
+                            dbias.data[c] += g_out.at(r, c);
+                        }
+                        for c in 0..g_out.cols {
+                            let gdy = g_out.at(r, c) * gv.at(0, c);
+                            *dx.at_mut(r, c) = inv_std[r]
+                                * (gdy - sum_gdy / cols - xhat.at(r, c) * sum_gdy_xhat / cols);
+                        }
+                    }
+                    grads[*x].add_assign(&dx);
+                    grads[*gain].add_assign(&dgain);
+                    grads[*bias].add_assign(&dbias);
+                }
+                Op::MeanRows(x) => {
+                    let n = self.nodes[*x].value.rows.max(1) as f32;
+                    let mut dx = Tensor::zeros(self.nodes[*x].value.rows, g_out.cols);
+                    for r in 0..dx.rows {
+                        for c in 0..g_out.cols {
+                            *dx.at_mut(r, c) = g_out.data[c] / n;
+                        }
+                    }
+                    grads[*x].add_assign(&dx);
+                }
+                Op::SelectRow(x, r) => {
+                    let mut dx = Tensor::zeros(self.nodes[*x].value.rows, g_out.cols);
+                    for c in 0..g_out.cols {
+                        *dx.at_mut(*r, c) = g_out.data[c];
+                    }
+                    grads[*x].add_assign(&dx);
+                }
+                Op::StackRows(rows) => {
+                    for (r, &rid) in rows.iter().enumerate() {
+                        let dr = Tensor::row(g_out.row_slice(r).to_vec());
+                        grads[rid].add_assign(&dr);
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let rows = self.nodes[p].value.rows;
+                        let cols = g_out.cols;
+                        let dp = Tensor::from_vec(
+                            rows,
+                            cols,
+                            g_out.data[off * cols..(off + rows) * cols].to_vec(),
+                        );
+                        grads[p].add_assign(&dp);
+                        off += rows;
+                    }
+                }
+                Op::SoftmaxRows(x) => {
+                    // dx = y ⊙ (dy − (dy·y)) per row.
+                    let y = &self.nodes[id].value;
+                    let mut dx = Tensor::zeros(y.rows, y.cols);
+                    for r in 0..y.rows {
+                        let dot: f32 = (0..y.cols).map(|c| g_out.at(r, c) * y.at(r, c)).sum();
+                        for c in 0..y.cols {
+                            *dx.at_mut(r, c) = y.at(r, c) * (g_out.at(r, c) - dot);
+                        }
+                    }
+                    grads[*x].add_assign(&dx);
+                }
+                Op::NormalizeRows { x, norms } => {
+                    let y = &self.nodes[id].value;
+                    let mut dx = Tensor::zeros(y.rows, y.cols);
+                    for r in 0..y.rows {
+                        let dot: f32 = (0..y.cols).map(|c| g_out.at(r, c) * y.at(r, c)).sum();
+                        for c in 0..y.cols {
+                            *dx.at_mut(r, c) = (g_out.at(r, c) - y.at(r, c) * dot) / norms[r];
+                        }
+                    }
+                    grads[*x].add_assign(&dx);
+                }
+                Op::CrossEntropy {
+                    logits,
+                    probs,
+                    targets,
+                } => {
+                    let scale = g_out.item() / targets.len().max(1) as f32;
+                    let mut dl = probs.clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        *dl.at_mut(r, t) -= 1.0;
+                    }
+                    let dl = dl.map(|v| v * scale);
+                    grads[*logits].add_assign(&dl);
+                }
+                Op::Mse { pred, target } => {
+                    let n = target.data.len().max(1) as f32;
+                    let scale = 2.0 * g_out.item() / n;
+                    let dp = self.nodes[*pred]
+                        .value
+                        .zip(target, |p, t| (p - t) * scale);
+                    grads[*pred].add_assign(&dp);
+                }
+            }
+        }
+        grads
+    }
+
+    /// Collects `(param_key, grad)` pairs after [`Graph::backward`].
+    pub fn param_grads(&self, grads: &[Tensor]) -> Vec<(usize, Tensor)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.param_key.map(|k| (k, grads[i].clone())))
+            .collect()
+    }
+}
+
+fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
+}
+
+fn gelu_grad(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check helper: builds a scalar loss from a
+    /// single input tensor via `f` and compares autograd to numeric grads.
+    fn grad_check(input: Tensor, f: impl Fn(&mut Graph, NodeId) -> NodeId) {
+        let mut g = Graph::new();
+        let x = g.param(0, input.clone());
+        let loss = f(&mut g, x);
+        assert_eq!(g.value(loss).data.len(), 1, "loss must be scalar");
+        let grads = g.backward(loss);
+        let analytic = &grads[x];
+        let eps = 3e-3f32;
+        for i in 0..input.data.len() {
+            let mut plus = input.clone();
+            plus.data[i] += eps;
+            let mut minus = input.clone();
+            minus.data[i] -= eps;
+            let lp = {
+                let mut g = Graph::new();
+                let x = g.param(0, plus);
+                let l = f(&mut g, x);
+                g.value(l).item()
+            };
+            let lm = {
+                let mut g = Graph::new();
+                let x = g.param(0, minus);
+                let l = f(&mut g, x);
+                g.value(l).item()
+            };
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data[i];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "grad mismatch at {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn rngt(r: usize, c: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::xavier(r, c, &mut rng)
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let w = rngt(3, 2, 11);
+        grad_check(rngt(2, 3, 1), move |g, x| {
+            let wn = g.constant(w.clone());
+            let y = g.matmul(x, wn);
+            let t = Tensor::zeros(2, 2);
+            g.mse(y, t)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_bt_and_normalize() {
+        let other = rngt(4, 3, 7);
+        grad_check(rngt(4, 3, 2), move |g, x| {
+            let xn = g.normalize_rows(x);
+            let o = g.constant(other.clone());
+            let sim = g.matmul_bt(xn, o);
+            g.cross_entropy(sim, Rc::new(vec![0, 1, 2, 3]))
+        });
+    }
+
+    #[test]
+    fn grad_activations() {
+        grad_check(rngt(2, 4, 3), |g, x| {
+            let a = g.gelu(x);
+            let b = g.relu(a);
+            let c = g.tanh(b);
+            g.mse(c, Tensor::zeros(2, 4))
+        });
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        let gain = rngt(1, 4, 21).map(|v| 1.0 + 0.1 * v);
+        let bias = rngt(1, 4, 22).map(|v| 0.1 * v);
+        grad_check(rngt(3, 4, 4), move |g, x| {
+            let gn = g.constant(gain.clone());
+            let bn = g.constant(bias.clone());
+            let y = g.layer_norm(x, gn, bn);
+            g.mse(y, Tensor::zeros(3, 4))
+        });
+    }
+
+    #[test]
+    fn grad_spmm_and_pooling() {
+        let adj = Rc::new(SparseMatrix::normalized_adjacency(3, &[(0, 1), (1, 2)]));
+        grad_check(rngt(3, 3, 5), move |g, x| {
+            let p = g.spmm(adj.clone(), x);
+            let m = g.mean_rows(p);
+            g.mse(m, Tensor::zeros(1, 3))
+        });
+    }
+
+    #[test]
+    fn grad_concat_select_gather() {
+        grad_check(rngt(4, 3, 6), |g, x| {
+            let picked = g.gather_rows(x, Rc::new(vec![0, 2, 2]));
+            let r0 = g.select_row(picked, 0);
+            let r1 = g.select_row(picked, 2);
+            let cat = g.concat_cols(&[r0, r1]);
+            g.mse(cat, Tensor::zeros(1, 6))
+        });
+    }
+
+    #[test]
+    fn grad_add_row_mul_scale() {
+        let row = rngt(1, 3, 31);
+        grad_check(rngt(2, 3, 8), move |g, x| {
+            let r = g.constant(row.clone());
+            let a = g.add_row(x, r);
+            let b = g.mul(a, a);
+            let c = g.scale(b, 0.5);
+            g.mse(c, Tensor::zeros(2, 3))
+        });
+    }
+
+    #[test]
+    fn grad_stack_rows() {
+        grad_check(rngt(3, 4, 9), |g, x| {
+            let r0 = g.select_row(x, 0);
+            let r2 = g.select_row(x, 2);
+            let s = g.stack_rows(&[r0, r2]);
+            g.mse(s, Tensor::zeros(2, 4))
+        });
+    }
+
+    #[test]
+    fn cross_entropy_decreases_under_gradient_step() {
+        // One step of gradient descent on logits must reduce CE.
+        let logits = rngt(4, 3, 10);
+        let targets = Rc::new(vec![0usize, 1, 2, 0]);
+        let mut g = Graph::new();
+        let x = g.param(0, logits.clone());
+        let loss = g.cross_entropy(x, targets.clone());
+        let l0 = g.value(loss).item();
+        let grads = g.backward(loss);
+        let stepped = logits.zip(&grads[x], |v, d| v - 0.5 * d);
+        let mut g2 = Graph::new();
+        let x2 = g2.param(0, stepped);
+        let loss2 = g2.cross_entropy(x2, targets);
+        assert!(g2.value(loss2).item() < l0);
+    }
+
+    #[test]
+    fn param_grads_are_collected_by_key() {
+        let mut g = Graph::new();
+        let a = g.param(7, Tensor::scalar(2.0));
+        let b = g.param(9, Tensor::scalar(3.0));
+        let p = g.mul(a, b);
+        let loss = g.mse(p, Tensor::scalar(0.0));
+        let grads = g.backward(loss);
+        let pg = g.param_grads(&grads);
+        assert_eq!(pg.len(), 2);
+        let d_a = pg.iter().find(|(k, _)| *k == 7).expect("key 7").1.item();
+        // d/da (ab)^2 = 2ab * b = 2*6*3 = 36.
+        assert!((d_a - 36.0).abs() < 1e-4);
+    }
+}

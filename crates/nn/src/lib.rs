@@ -1,0 +1,47 @@
+//! # nettag-nn — from-scratch neural substrate
+//!
+//! CPU tensor kernels, tape-based reverse-mode autograd, transformer and
+//! graph-propagation layers, Adam, contrastive/classification/regression
+//! losses, and gradient-boosted trees — everything the NetTAG models are
+//! built from, with zero ML-framework dependencies (the substitution for
+//! the paper's PyTorch/GPU stack).
+//!
+//! ```
+//! use nettag_nn::{Adam, Graph, Layer, Mlp, Tensor};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut mlp = Mlp::new(&[2, 8, 1], &mut rng);
+//! let mut opt = Adam::new(0.05);
+//! let x = Tensor::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+//! let y = Tensor::from_vec(4, 1, vec![0., 1., 1., 0.]);
+//! for _ in 0..50 {
+//!     let mut g = Graph::new();
+//!     let xn = g.constant(x.clone());
+//!     let pred = mlp.forward(&mut g, xn);
+//!     let loss = g.mse(pred, y.clone());
+//!     let grads = g.backward(loss);
+//!     let pg = g.param_grads(&grads);
+//!     opt.step(&mut mlp.params_mut(), &pg);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gbdt;
+mod graph;
+mod layers;
+mod loss;
+mod optim;
+mod tensor;
+
+pub use gbdt::{GbdtConfig, GbdtRegressor};
+pub use graph::{Graph, NodeId};
+pub use layers::{
+    Embedding, FeedForward, Layer, LayerNorm, Linear, Mlp, MultiHeadAttention, Param,
+    TransformerBlock,
+};
+pub use loss::{info_nce, info_nce_symmetric, weighted_sum};
+pub use optim::Adam;
+pub use tensor::{SparseMatrix, Tensor};

@@ -1,0 +1,125 @@
+//! Composite losses: InfoNCE contrastive loss (eq. 3 of the paper) and
+//! loss-combination helpers.
+
+use crate::graph::{Graph, NodeId};
+use std::rc::Rc;
+
+/// InfoNCE with in-batch negatives (paper eq. (3)):
+///
+/// `L = −log  exp(a_i · b_i / τ) / Σ_j exp(a_i · b_j / τ)`
+///
+/// `anchors` and `positives` are n×d; row `i` of each forms the positive
+/// pair, every other row of `positives` serves as a negative. Rows are
+/// L2-normalized internally, matching standard contrastive practice.
+pub fn info_nce(g: &mut Graph, anchors: NodeId, positives: NodeId, temperature: f32) -> NodeId {
+    let n = g.value(anchors).rows;
+    assert_eq!(n, g.value(positives).rows, "pairwise batches must match");
+    let a = g.normalize_rows(anchors);
+    let b = g.normalize_rows(positives);
+    let sim = g.matmul_bt(a, b);
+    let logits = g.scale(sim, 1.0 / temperature.max(1e-6));
+    let targets = Rc::new((0..n).collect::<Vec<usize>>());
+    g.cross_entropy(logits, targets)
+}
+
+/// Symmetric InfoNCE: the mean of both matching directions (used for
+/// cross-stage alignment where neither side is canonical).
+pub fn info_nce_symmetric(g: &mut Graph, a: NodeId, b: NodeId, temperature: f32) -> NodeId {
+    let lab = info_nce(g, a, b, temperature);
+    let lba = info_nce(g, b, a, temperature);
+    let sum = g.add(lab, lba);
+    g.scale(sum, 0.5)
+}
+
+/// Weighted sum of scalar losses.
+pub fn weighted_sum(g: &mut Graph, losses: &[(NodeId, f32)]) -> NodeId {
+    assert!(!losses.is_empty(), "no losses to combine");
+    let mut acc = g.scale(losses[0].0, losses[0].1);
+    for &(l, w) in &losses[1..] {
+        let s = g.scale(l, w);
+        acc = g.add(acc, s);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Layer, Linear};
+    use crate::optim::Adam;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn info_nce_prefers_aligned_pairs() {
+        // Identical embeddings => logits peak on the diagonal => low loss.
+        let mut g = Graph::new();
+        let e = Tensor::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]);
+        let a = g.constant(e.clone());
+        let b = g.constant(e);
+        let aligned = info_nce(&mut g, a, b, 0.1);
+        let mut g2 = Graph::new();
+        let e1 = Tensor::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]);
+        let shuffled = Tensor::from_vec(3, 2, vec![0., 1., 1., 1., 1., 0.]);
+        let a2 = g2.constant(e1);
+        let b2 = g2.constant(shuffled);
+        let misaligned = info_nce(&mut g2, a2, b2, 0.1);
+        assert!(g.value(aligned).item() < g2.value(misaligned).item());
+    }
+
+    #[test]
+    fn contrastive_training_aligns_projections() {
+        // Train a projection so paired random vectors align under InfoNCE.
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut proj = Linear::new(4, 4, &mut rng);
+        let anchors = Tensor::xavier(6, 4, &mut rng);
+        // Positives: a fixed random rotation of anchors.
+        let rot = Tensor::xavier(4, 4, &mut rng);
+        let positives = anchors.matmul(&rot);
+        let mut opt = Adam::new(0.02);
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        for step in 0..120 {
+            let mut g = Graph::new();
+            let a = g.constant(anchors.clone());
+            let pa = proj.forward(&mut g, a);
+            let p = g.constant(positives.clone());
+            let loss = info_nce(&mut g, pa, p, 0.2);
+            let lv = g.value(loss).item();
+            if step == 0 {
+                first = lv;
+            }
+            last = lv;
+            let grads = g.backward(loss);
+            let pg = g.param_grads(&grads);
+            opt.step(&mut proj.params_mut(), &pg);
+        }
+        assert!(last < first * 0.5, "InfoNCE should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn symmetric_loss_is_order_invariant() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ta = Tensor::xavier(4, 3, &mut rng);
+        let tb = Tensor::xavier(4, 3, &mut rng);
+        let mut g1 = Graph::new();
+        let a = g1.constant(ta.clone());
+        let b = g1.constant(tb.clone());
+        let l1 = info_nce_symmetric(&mut g1, a, b, 0.5);
+        let mut g2 = Graph::new();
+        let b2 = g2.constant(tb);
+        let a2 = g2.constant(ta);
+        let l2 = info_nce_symmetric(&mut g2, b2, a2, 0.5);
+        assert!((g1.value(l1).item() - g2.value(l2).item()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weighted_sum_combines_scalars() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::scalar(2.0));
+        let b = g.constant(Tensor::scalar(3.0));
+        let s = weighted_sum(&mut g, &[(a, 1.0), (b, 2.0)]);
+        assert!((g.value(s).item() - 8.0).abs() < 1e-6);
+    }
+}

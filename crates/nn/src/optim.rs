@@ -1,0 +1,144 @@
+//! Optimizers: Adam with global-norm gradient clipping.
+
+use crate::layers::Param;
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// The Adam optimizer.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub clip: f32,
+    /// Decoupled weight decay (AdamW style; 0 disables).
+    pub weight_decay: f32,
+    t: i32,
+}
+
+impl Adam {
+    /// Adam with standard betas and the given learning rate.
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: 5.0,
+            weight_decay: 0.0,
+            t: 0,
+        }
+    }
+
+    /// Applies one update step from `(param_key, grad)` pairs (as returned
+    /// by [`crate::Graph::param_grads`]). Gradients for keys not present in
+    /// `params` are ignored; parameters without gradients are untouched.
+    pub fn step(&mut self, params: &mut [&mut Param], grads: &[(usize, Tensor)]) {
+        self.t += 1;
+        // Merge duplicate keys (a param bound several times in one pass).
+        let mut merged: HashMap<usize, Tensor> = HashMap::new();
+        for (k, g) in grads {
+            merged
+                .entry(*k)
+                .and_modify(|acc| acc.add_assign(g))
+                .or_insert_with(|| g.clone());
+        }
+        // Global norm clip.
+        if self.clip > 0.0 {
+            let total: f32 = merged
+                .values()
+                .map(|g| g.data.iter().map(|v| v * v).sum::<f32>())
+                .sum::<f32>()
+                .sqrt();
+            if total > self.clip {
+                let s = self.clip / total;
+                for g in merged.values_mut() {
+                    for v in g.data.iter_mut() {
+                        *v *= s;
+                    }
+                }
+            }
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for p in params.iter_mut() {
+            let Some(g) = merged.get(&p.key) else { continue };
+            for i in 0..p.value.data.len() {
+                let gi = g.data[i];
+                p.m.data[i] = self.beta1 * p.m.data[i] + (1.0 - self.beta1) * gi;
+                p.v.data[i] = self.beta2 * p.v.data[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = p.m.data[i] / bc1;
+                let vhat = p.v.data[i] / bc2;
+                let mut upd = self.lr * mhat / (vhat.sqrt() + self.eps);
+                if self.weight_decay > 0.0 {
+                    upd += self.lr * self.weight_decay * p.value.data[i];
+                }
+                p.value.data[i] -= upd;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut p = Param::new(Tensor::scalar(5.0));
+        let mut opt = Adam::new(0.2);
+        for _ in 0..100 {
+            let mut g = Graph::new();
+            let x = p.bind(&mut g);
+            let loss = g.mse(x, Tensor::scalar(1.5));
+            let grads = g.backward(loss);
+            let pg = g.param_grads(&grads);
+            opt.step(&mut [&mut p], &pg);
+        }
+        assert!((p.value.item() - 1.5).abs() < 0.05, "got {}", p.value.item());
+    }
+
+    #[test]
+    fn clipping_bounds_large_gradients() {
+        let mut p = Param::new(Tensor::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        opt.clip = 0.5;
+        let huge = vec![(p.key, Tensor::scalar(1e6))];
+        opt.step(&mut [&mut p], &huge);
+        // Step magnitude bounded by lr regardless of raw grad.
+        assert!(p.value.item().abs() <= 0.11);
+    }
+
+    #[test]
+    fn duplicate_keys_accumulate() {
+        let mut p = Param::new(Tensor::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        opt.clip = 0.0;
+        let twice = vec![(p.key, Tensor::scalar(1.0)), (p.key, Tensor::scalar(1.0))];
+        opt.step(&mut [&mut p], &twice);
+        let once_val = {
+            let mut q = Param::new(Tensor::scalar(0.0));
+            let qk = q.key;
+            let mut o2 = Adam::new(0.1);
+            o2.clip = 0.0;
+            o2.step(&mut [&mut q], &[(qk, Tensor::scalar(2.0))]);
+            q.value.item()
+        };
+        assert!((p.value.item() - once_val).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_grads_leave_params_unchanged() {
+        let mut p = Param::new(Tensor::scalar(3.0));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut [&mut p], &[]);
+        assert_eq!(p.value.item(), 3.0);
+    }
+}

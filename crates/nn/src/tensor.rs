@@ -1,0 +1,403 @@
+//! Dense 2-D f32 tensors and the kernels the autograd graph dispatches to.
+//!
+//! Everything in the reproduction's models is expressible with 2-D
+//! tensors (a sequence or node set is `rows`, features are `cols`), which
+//! keeps the from-scratch engine small and the shapes auditable.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major 2-D tensor of f32.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major data, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Tensor from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// A 1×n row tensor.
+    pub fn row(data: Vec<f32>) -> Tensor {
+        Tensor {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
+    }
+
+    /// A 1×1 scalar tensor.
+    pub fn scalar(v: f32) -> Tensor {
+        Tensor {
+            rows: 1,
+            cols: 1,
+            data: vec![v],
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// One row as a slice.
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a 1×1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 1×1.
+    pub fn item(&self) -> f32 {
+        assert_eq!((self.rows, self.cols), (1, 1), "item() needs a scalar");
+        self.data[0]
+    }
+
+    /// `self @ other` (matrix product).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul inner dims");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.at(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T`.
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_bt inner dims");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row_slice(i);
+            for j in 0..other.rows {
+                let brow = other.row_slice(j);
+                let mut s = 0.0;
+                for k in 0..self.cols {
+                    s += arow[k] * brow[k];
+                }
+                *out.at_mut(i, j) = s;
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other`.
+    pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "matmul_at inner dims");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row_slice(k);
+            let brow = other.row_slice(k);
+            for i in 0..self.cols {
+                let a = arow[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                *out.at_mut(c, r) = self.at(r, c);
+            }
+        }
+        out
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise binary zip.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip shapes");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place accumulate: `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shapes");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Row-wise softmax (numerically stabilized).
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let row = &mut out.data[r * self.cols..(r + 1) * self.cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum.max(1e-20);
+            }
+        }
+        out
+    }
+
+    /// Mean over all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+}
+
+/// A sparse row-compressed matrix used for graph propagation (normalized
+/// adjacency). Stored with both forward and transposed row lists so the
+/// backward pass is a plain replay.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    /// Number of rows (= cols; adjacency is square here).
+    pub n: usize,
+    /// `rows[i]` = list of `(col, weight)`.
+    pub rows: Vec<Vec<(u32, f32)>>,
+    /// Transposed rows for the backward pass.
+    pub rows_t: Vec<Vec<(u32, f32)>>,
+}
+
+impl SparseMatrix {
+    /// Builds from `(row, col, weight)` triplets.
+    pub fn from_triplets(n: usize, triplets: impl IntoIterator<Item = (u32, u32, f32)>) -> SparseMatrix {
+        let mut rows = vec![Vec::new(); n];
+        let mut rows_t = vec![Vec::new(); n];
+        for (r, c, w) in triplets {
+            rows[r as usize].push((c, w));
+            rows_t[c as usize].push((r, w));
+        }
+        SparseMatrix { n, rows, rows_t }
+    }
+
+    /// Symmetrically-normalized adjacency with self loops (GCN-style):
+    /// `D^-1/2 (A + I) D^-1/2` over undirected edges.
+    pub fn normalized_adjacency(n: usize, edges: &[(u32, u32)]) -> SparseMatrix {
+        let mut deg = vec![1.0f32; n]; // self loop
+        let mut und: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2 + n);
+        for &(a, b) in edges {
+            if a == b {
+                continue;
+            }
+            und.push((a, b));
+            und.push((b, a));
+            deg[a as usize] += 1.0;
+            deg[b as usize] += 1.0;
+        }
+        let mut triplets: Vec<(u32, u32, f32)> = Vec::with_capacity(und.len() + n);
+        for i in 0..n as u32 {
+            triplets.push((i, i, 1.0 / deg[i as usize]));
+        }
+        for (a, b) in und {
+            let w = 1.0 / (deg[a as usize].sqrt() * deg[b as usize].sqrt());
+            triplets.push((a, b, w));
+        }
+        SparseMatrix::from_triplets(n, triplets)
+    }
+
+    /// `self @ x` (dense rhs), using the forward row lists.
+    pub fn matmul(&self, x: &Tensor) -> Tensor {
+        self.apply(&self.rows, x)
+    }
+
+    /// `self^T @ x`.
+    pub fn matmul_t(&self, x: &Tensor) -> Tensor {
+        self.apply(&self.rows_t, x)
+    }
+
+    fn apply(&self, rows: &[Vec<(u32, f32)>], x: &Tensor) -> Tensor {
+        assert_eq!(x.rows, self.n, "spmm shape");
+        let mut out = Tensor::zeros(self.n, x.cols);
+        for (i, row) in rows.iter().enumerate() {
+            let orow = &mut out.data[i * x.cols..(i + 1) * x.cols];
+            for &(c, w) in row {
+                let xrow = x.row_slice(c as usize);
+                for (o, &v) in orow.iter_mut().zip(xrow.iter()) {
+                    *o += w * v;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_matches_hand_example() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_bt_and_at_agree_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::xavier(3, 4, &mut rng);
+        let b = Tensor::xavier(5, 4, &mut rng);
+        let direct = a.matmul_bt(&b);
+        let explicit = a.matmul(&b.transpose());
+        for (x, y) in direct.data.iter().zip(explicit.data.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        let c = Tensor::xavier(3, 6, &mut rng);
+        let direct = a.matmul_at(&c);
+        let explicit = a.transpose().matmul(&c);
+        for (x, y) in direct.data.iter().zip(explicit.data.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row_slice(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone: larger logits get larger probabilities.
+        assert!(s.at(0, 2) > s.at(0, 1));
+    }
+
+    #[test]
+    fn sparse_normalized_adjacency_is_stochastic_like() {
+        // Triangle graph 0-1-2.
+        let adj = SparseMatrix::normalized_adjacency(3, &[(0, 1), (1, 2), (0, 2)]);
+        let x = Tensor::from_vec(3, 1, vec![1., 1., 1.]);
+        let y = adj.matmul(&x);
+        // Symmetric normalization of a regular graph preserves the constant
+        // vector exactly.
+        for v in y.data {
+            assert!((v - 1.0).abs() < 1e-5, "{v}");
+        }
+    }
+
+    #[test]
+    fn sparse_transpose_matches_dense() {
+        let adj = SparseMatrix::normalized_adjacency(4, &[(0, 1), (1, 2), (2, 3)]);
+        let x = Tensor::from_vec(4, 2, vec![1., 0., 0., 1., 1., 1., 0.5, 0.25]);
+        let y1 = adj.matmul_t(&x);
+        // Dense reference.
+        let mut dense = Tensor::zeros(4, 4);
+        for (i, row) in adj.rows.iter().enumerate() {
+            for &(c, w) in row {
+                *dense.at_mut(i, c as usize) = w;
+            }
+        }
+        let y2 = dense.transpose().matmul(&x);
+        for (a, b) in y1.data.iter().zip(y2.data.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = Tensor::xavier(4, 4, &mut r1);
+        let b = Tensor::xavier(4, 4, &mut r2);
+        assert_eq!(a, b);
+        let bound = (6.0 / 8.0f32).sqrt();
+        assert!(a.data.iter().all(|v| v.abs() <= bound));
+    }
+}

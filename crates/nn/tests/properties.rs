@@ -1,0 +1,137 @@
+//! Property-based gradient checks: autograd gradients must match central
+//! finite differences for randomly composed computation graphs.
+
+use nettag_nn::{Graph, NodeId, SparseMatrix, Tensor};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+/// Numerically checks d(loss)/d(input) at every coordinate.
+fn check(input: Tensor, f: impl Fn(&mut Graph, NodeId) -> NodeId) -> Result<(), TestCaseError> {
+    let run = |t: Tensor| -> f32 {
+        let mut g = Graph::new();
+        let x = g.param(0, t);
+        let l = f(&mut g, x);
+        g.value(l).item()
+    };
+    let mut g = Graph::new();
+    let x = g.param(0, input.clone());
+    let loss = f(&mut g, x);
+    let grads = g.backward(loss);
+    let analytic = &grads[x];
+    let eps = 4e-3f32;
+    for i in 0..input.data.len() {
+        let mut plus = input.clone();
+        plus.data[i] += eps;
+        let mut minus = input.clone();
+        minus.data[i] -= eps;
+        let numeric = (run(plus) - run(minus)) / (2.0 * eps);
+        let a = analytic.data[i];
+        prop_assert!(
+            (a - numeric).abs() < 4e-2 * (1.0 + numeric.abs()),
+            "coord {i}: analytic {a} vs numeric {numeric}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gradcheck_linear_gelu_layernorm(x in arb_tensor(3, 4), w in arb_tensor(4, 3)) {
+        // A fixed ramp keeps per-row variance away from zero, where
+        // LayerNorm's finite-difference check is ill-conditioned.
+        let ramp = Tensor::from_vec(
+            3,
+            4,
+            (0..12).map(|i| (i % 4) as f32 * 0.8).collect(),
+        );
+        check(x, move |g, xn| {
+            let rn = g.constant(ramp.clone());
+            let xr = g.add(xn, rn);
+            let wn = g.constant(w.clone());
+            let h = g.matmul(xr, wn);
+            let a = g.gelu(h);
+            let gain = g.constant(Tensor::row(vec![1.0, 0.9, 1.1]));
+            let bias = g.constant(Tensor::row(vec![0.0, 0.1, -0.1]));
+            let n = g.layer_norm(a, gain, bias);
+            g.mse(n, Tensor::zeros(3, 3))
+        })?;
+    }
+
+    #[test]
+    fn gradcheck_softmax_attention_core(x in arb_tensor(3, 4)) {
+        check(x, |g, xn| {
+            let scores = g.matmul_bt(xn, xn);
+            let scaled = g.scale(scores, 0.5);
+            let attn = g.softmax_rows_op(scaled);
+            let out = g.matmul(attn, xn);
+            g.mse(out, Tensor::zeros(3, 4))
+        })?;
+    }
+
+    #[test]
+    fn gradcheck_contrastive_path(x in arb_tensor(4, 3)) {
+        check(x, |g, xn| {
+            let normed = g.normalize_rows(xn);
+            let sim = g.matmul_bt(normed, normed);
+            let logits = g.scale(sim, 4.0);
+            g.cross_entropy(logits, Rc::new(vec![0, 1, 2, 3]))
+        })?;
+    }
+
+    #[test]
+    fn gradcheck_graph_propagation(x in arb_tensor(4, 3)) {
+        let adj = Rc::new(SparseMatrix::normalized_adjacency(
+            4,
+            &[(0, 1), (1, 2), (2, 3), (0, 3)],
+        ));
+        check(x, move |g, xn| {
+            let p = g.spmm(adj.clone(), xn);
+            let r = g.relu(p);
+            let m = g.mean_rows(r);
+            g.mse(m, Tensor::zeros(1, 3))
+        })?;
+    }
+
+    #[test]
+    fn gradcheck_concat_gather_stack(x in arb_tensor(4, 3)) {
+        check(x, |g, xn| {
+            let picked = g.gather_rows(xn, Rc::new(vec![1, 1, 3]));
+            let r0 = g.select_row(picked, 0);
+            let r1 = g.select_row(picked, 2);
+            let stacked = g.stack_rows(&[r0, r1]);
+            let cat = g.concat_rows(&[stacked, picked]);
+            g.mse(cat, Tensor::zeros(5, 3))
+        })?;
+    }
+
+    /// Softmax rows always sum to one and are within (0, 1).
+    #[test]
+    fn softmax_is_a_distribution(x in arb_tensor(3, 5)) {
+        let s = x.softmax_rows();
+        for r in 0..3 {
+            let row = s.row_slice(r);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&v| v > 0.0 && v < 1.0 + 1e-6));
+        }
+    }
+
+    /// The symmetrically-normalized adjacency (with self loops) has
+    /// spectral radius ≤ 1: propagation never grows the L2 norm.
+    #[test]
+    fn normalized_propagation_is_l2_nonexpansive(
+        edges in prop::collection::vec((0u32..6, 0u32..6), 1..10),
+        x in arb_tensor(6, 2),
+    ) {
+        let adj = SparseMatrix::normalized_adjacency(6, &edges);
+        let out = adj.matmul(&x);
+        prop_assert!(out.norm() <= x.norm() * (1.0 + 1e-4), "{} > {}", out.norm(), x.norm());
+    }
+}

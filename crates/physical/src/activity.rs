@@ -1,0 +1,156 @@
+//! Switching-activity estimation via cycle simulation.
+//!
+//! The "Synopsys PrimeTime (power mode)" substitute: the netlist is
+//! simulated for a number of cycles with random primary-input stimulus;
+//! per-gate toggle rates and signal probabilities are measured empirically.
+//! These feed both the power model and the toggle/probability fields of
+//! the TAG physical attributes.
+
+use nettag_netlist::{next_register_values, simulate_comb, GateId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Measured switching activity.
+#[derive(Debug, Clone)]
+pub struct Activity {
+    /// Output toggles per cycle, per gate.
+    pub toggle_rate: Vec<f64>,
+    /// Fraction of cycles the output was 1, per gate.
+    pub probability: Vec<f64>,
+    /// Cycles simulated.
+    pub cycles: usize,
+}
+
+/// Simulation options.
+#[derive(Debug, Clone)]
+pub struct ActivityConfig {
+    /// Number of cycles to simulate.
+    pub cycles: usize,
+    /// Stimulus seed.
+    pub seed: u64,
+    /// Probability an input bit flips between consecutive cycles.
+    pub input_flip_prob: f64,
+}
+
+impl Default for ActivityConfig {
+    fn default() -> Self {
+        ActivityConfig {
+            cycles: 64,
+            seed: 0xAC71,
+            input_flip_prob: 0.35,
+        }
+    }
+}
+
+/// Simulates the design and measures per-gate activity.
+pub fn measure_activity(netlist: &Netlist, config: &ActivityConfig) -> Activity {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = netlist.gate_count();
+    let mut toggles = vec![0u32; n];
+    let mut ones = vec![0u32; n];
+    // Random initial state.
+    let mut sources: HashMap<GateId, bool> = HashMap::new();
+    for i in netlist.inputs() {
+        sources.insert(i, rng.gen_bool(0.5));
+    }
+    for r in netlist.registers() {
+        sources.insert(r, rng.gen_bool(0.5));
+    }
+    let mut prev = simulate_comb(netlist, &sources);
+    for _ in 0..config.cycles {
+        // Advance registers, jiggle inputs.
+        let next_regs = next_register_values(netlist, &prev);
+        for (r, v) in next_regs {
+            sources.insert(r, v);
+        }
+        for i in netlist.inputs() {
+            if rng.gen_bool(config.input_flip_prob) {
+                let v = sources.get(&i).copied().unwrap_or(false);
+                sources.insert(i, !v);
+            }
+        }
+        let values = simulate_comb(netlist, &sources);
+        for idx in 0..n {
+            if values[idx] != prev[idx] {
+                toggles[idx] += 1;
+            }
+            if values[idx] {
+                ones[idx] += 1;
+            }
+        }
+        prev = values;
+    }
+    let c = config.cycles.max(1) as f64;
+    Activity {
+        toggle_rate: toggles.iter().map(|&t| f64::from(t) / c).collect(),
+        probability: ones.iter().map(|&o| f64::from(o) / c).collect(),
+        cycles: config.cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettag_netlist::CellKind;
+
+    #[test]
+    fn toggle_flop_toggles_every_cycle() {
+        let mut n = Netlist::new("t");
+        let r = GateId(0);
+        let inv = GateId(1);
+        n.add_gate("R", CellKind::Dff, vec![inv]);
+        n.add_gate("N", CellKind::Inv, vec![r]);
+        n.add_gate("y", CellKind::Output, vec![r]);
+        let n = n.validate().expect("valid");
+        let a = measure_activity(&n, &ActivityConfig::default());
+        assert!(a.toggle_rate[r.index()] > 0.95, "toggle flop flips each cycle");
+        assert!((a.probability[r.index()] - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn constant_nets_never_toggle() {
+        let mut n = Netlist::new("c");
+        let z = n.add_gate("z", CellKind::Const0, vec![]);
+        let inv = n.add_gate("I", CellKind::Inv, vec![z]);
+        n.add_gate("y", CellKind::Output, vec![inv]);
+        let n = n.validate().expect("valid");
+        let a = measure_activity(&n, &ActivityConfig::default());
+        assert_eq!(a.toggle_rate[z.index()], 0.0);
+        assert_eq!(a.probability[inv.index()], 1.0);
+    }
+
+    #[test]
+    fn activity_is_deterministic_per_seed() {
+        let mut n = Netlist::new("d");
+        let a0 = n.add_gate("a", CellKind::Input, vec![]);
+        let b = n.add_gate("b", CellKind::Input, vec![]);
+        let g = n.add_gate("G", CellKind::Xor2, vec![a0, b]);
+        n.add_gate("y", CellKind::Output, vec![g]);
+        let n = n.validate().expect("valid");
+        let c = ActivityConfig::default();
+        let a1 = measure_activity(&n, &c);
+        let a2 = measure_activity(&n, &c);
+        assert_eq!(a1.toggle_rate, a2.toggle_rate);
+    }
+
+    #[test]
+    fn and_gate_probability_is_low() {
+        let mut n = Netlist::new("p");
+        let a0 = n.add_gate("a", CellKind::Input, vec![]);
+        let b = n.add_gate("b", CellKind::Input, vec![]);
+        let c0 = n.add_gate("c", CellKind::Input, vec![]);
+        let g1 = n.add_gate("G1", CellKind::And2, vec![a0, b]);
+        let g = n.add_gate("G", CellKind::And2, vec![g1, c0]);
+        n.add_gate("y", CellKind::Output, vec![g]);
+        let n = n.validate().expect("valid");
+        let a = measure_activity(
+            &n,
+            &ActivityConfig {
+                cycles: 512,
+                ..ActivityConfig::default()
+            },
+        );
+        assert!(a.probability[g.index()] < 0.3, "AND3 of random inputs is rarely 1");
+    }
+}

@@ -1,0 +1,211 @@
+//! The end-to-end physical design flow.
+//!
+//! `netlist → place → extract → STA → activity → power (+ optional
+//! optimization)` — one call that produces everything the rest of the
+//! reproduction needs: sign-off labels (slack, power, area) for Tasks 3–4,
+//! the layout modality graph for cross-stage alignment, and
+//! signoff-accurate per-gate [`PhysProps`] for TAG attributes.
+
+use crate::activity::{measure_activity, Activity, ActivityConfig};
+use crate::layout::LayoutGraph;
+use crate::optimize::{optimize_physical, OptimizeConfig};
+use crate::parasitics::{extract, Parasitics};
+use crate::placement::{place, PlaceConfig, Placement};
+use crate::power::{analyze_power, total_area, PowerConfig, PowerReport};
+use crate::timing::{analyze_timing, TimingConfig, TimingReport};
+use nettag_netlist::{Library, Netlist, PhysProps};
+
+/// Options for the whole flow.
+#[derive(Debug, Clone, Default)]
+pub struct FlowConfig {
+    /// Placement options.
+    pub placement: PlaceConfig,
+    /// Timing constraints.
+    pub timing: TimingConfig,
+    /// Activity simulation options.
+    pub activity: ActivityConfig,
+    /// Power options.
+    pub power: PowerConfig,
+    /// Run physical optimization before sign-off (the "w/ opt" scenario of
+    /// Task 4 / the topology churn of Task 3).
+    pub optimize: bool,
+}
+
+/// Everything the flow produces.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// The netlist the sign-off numbers describe (differs from the input
+    /// when optimization ran).
+    pub netlist: Netlist,
+    /// Placement.
+    pub placement: Placement,
+    /// Extracted parasitics.
+    pub parasitics: Parasitics,
+    /// STA report (endpoint slacks keyed by gate id in `netlist`).
+    pub timing: TimingReport,
+    /// Activity measurements.
+    pub activity: Activity,
+    /// Power report (includes clock-tree power in `total`).
+    pub power: PowerReport,
+    /// Total area (um²): cells + clock-tree buffers.
+    pub area: f64,
+    /// Clock-tree area overhead included in `area` (um²).
+    pub cts_area: f64,
+    /// Clock-tree power included in `power.total` (uW).
+    pub cts_power: f64,
+    /// The layout modality graph.
+    pub layout: LayoutGraph,
+}
+
+impl FlowOutcome {
+    /// Sign-off-accurate per-gate physical properties for TAG attributes,
+    /// indexed by gate id of `self.netlist`.
+    pub fn phys_props(&self, lib: &Library) -> Vec<PhysProps> {
+        let n = self.netlist.gate_count();
+        let mut out = Vec::with_capacity(n);
+        for (id, g) in self.netlist.iter() {
+            let i = id.index();
+            let p = self.parasitics.net(id);
+            out.push(PhysProps {
+                power: self.power.dynamic[i] + self.power.leakage[i],
+                area: lib.params(g.kind).area * g.size,
+                delay: self.timing.gate_delay[i],
+                toggle_rate: self.activity.toggle_rate[i],
+                probability: self.activity.probability[i],
+                load: p.total_load,
+                capacitance: p.capacitance,
+                resistance: p.resistance,
+            });
+        }
+        out
+    }
+
+    /// Endpoint slack of the register named `name`, if present.
+    pub fn register_slack(&self, name: &str) -> Option<f64> {
+        let id = self.netlist.find(name)?;
+        self.timing.endpoint_slack.get(&id).copied()
+    }
+}
+
+/// Runs the full physical flow on a netlist.
+pub fn run_flow(netlist: &Netlist, lib: &Library, config: &FlowConfig) -> FlowOutcome {
+    let working = if config.optimize {
+        optimize_physical(
+            netlist,
+            lib,
+            &OptimizeConfig {
+                timing: config.timing.clone(),
+                placement: config.placement.clone(),
+                ..OptimizeConfig::default()
+            },
+        )
+        .netlist
+    } else {
+        netlist.clone()
+    };
+    let placement = place(&working, lib, &config.placement);
+    let parasitics = extract(&working, lib, &placement);
+    let timing = analyze_timing(&working, lib, &parasitics, &config.timing);
+    let activity = measure_activity(&working, &config.activity);
+    let mut power = analyze_power(&working, lib, &parasitics, &activity, &config.power);
+    // Clock-tree synthesis overhead — invisible at the synthesis stage,
+    // which is why pre-layout "EDA tool" estimates are biased (Table V):
+    // one clock buffer per ~8 sinks plus wire cap along the spine, and the
+    // clock net toggles every cycle.
+    let regs = working.registers().len() as f64;
+    let buf = lib.params(nettag_netlist::CellKind::Buf);
+    let dff_cap = lib.params(nettag_netlist::CellKind::Dff).input_cap;
+    let n_cts_bufs = (regs / 8.0).ceil();
+    let spine_wirelength = placement.die * (regs.sqrt() + 1.0);
+    let cts_area = n_cts_bufs * buf.area * 2.0;
+    let clock_cap = regs * dff_cap + spine_wirelength * crate::parasitics::CAP_PER_UM;
+    // Clock toggles twice per cycle (rise+fall): 2 × 1/2 C V² f.
+    let cts_power = clock_cap * config.power.vdd_sq * config.power.freq_ghz
+        + n_cts_bufs * buf.leakage * 2.0;
+    power.total += cts_power;
+    let area = total_area(&working, lib) + cts_area;
+    let layout = LayoutGraph::assemble(&working, &placement, &parasitics, &timing);
+    FlowOutcome {
+        netlist: working,
+        placement,
+        parasitics,
+        timing,
+        activity,
+        power,
+        area,
+        cts_area,
+        cts_power,
+        layout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettag_netlist::CellKind;
+
+    fn design() -> Netlist {
+        let mut n = Netlist::new("flow_t");
+        let a = n.add_gate("a", CellKind::Input, vec![]);
+        let b = n.add_gate("b", CellKind::Input, vec![]);
+        let x = n.add_gate("X", CellKind::Xor2, vec![a, b]);
+        let s = n.add_gate("S", CellKind::FaSum, vec![a, b, x]);
+        let r = n.add_gate("R1", CellKind::Dff, vec![s]);
+        let m = n.add_gate("M", CellKind::Mux2, vec![r, x, s]);
+        n.add_gate("y", CellKind::Output, vec![m]);
+        n.validate().expect("valid")
+    }
+
+    #[test]
+    fn flow_produces_consistent_artifacts() {
+        let n = design();
+        let lib = Library::default();
+        let out = run_flow(&n, &lib, &FlowConfig::default());
+        assert_eq!(out.layout.len(), out.netlist.gate_count());
+        assert!(out.area > 0.0);
+        assert!(out.power.total > 0.0);
+        assert!(out.register_slack("R1").is_some());
+        let props = out.phys_props(&lib);
+        assert_eq!(props.len(), out.netlist.gate_count());
+        assert!(props.iter().all(|p| p.area >= 0.0 && p.power >= 0.0));
+    }
+
+    #[test]
+    fn optimized_flow_differs_from_unoptimized() {
+        let mut n = Netlist::new("fan");
+        let a = n.add_gate("a", CellKind::Input, vec![]);
+        let h = n.add_gate("H", CellKind::Buf, vec![a]);
+        let mut last = h;
+        for i in 0..12 {
+            last = n.add_gate(format!("U{i}"), CellKind::Xor2, vec![h, last]);
+        }
+        let r = n.add_gate("R1", CellKind::Dff, vec![last]);
+        n.add_gate("y", CellKind::Output, vec![r]);
+        let n = n.validate().expect("valid");
+        let lib = Library::default();
+        let base = run_flow(&n, &lib, &FlowConfig::default());
+        let opt = run_flow(
+            &n,
+            &lib,
+            &FlowConfig {
+                optimize: true,
+                ..FlowConfig::default()
+            },
+        );
+        assert!(opt.netlist.gate_count() >= base.netlist.gate_count());
+        // Area changes under sizing; slack should not get (much) worse.
+        assert!(opt.timing.wns >= base.timing.wns - 1e-6);
+        assert!((opt.area - base.area).abs() > 1e-12);
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let n = design();
+        let lib = Library::default();
+        let a = run_flow(&n, &lib, &FlowConfig::default());
+        let b = run_flow(&n, &lib, &FlowConfig::default());
+        assert_eq!(a.power.total, b.power.total);
+        assert_eq!(a.timing.wns, b.timing.wns);
+        assert_eq!(a.area, b.area);
+    }
+}

@@ -1,0 +1,46 @@
+//! # nettag-physical — physical-design substrate
+//!
+//! The "Cadence Innovus + SPEF + Synopsys PrimeTime" substitute of the
+//! NetTAG reproduction: placement, RC parasitic extraction, static timing
+//! analysis (endpoint register slack — the Task 3 labels), simulation-based
+//! switching activity, power analysis (Task 4 labels), physical
+//! optimization (the "w/ opt" scenario), and the layout connectivity graph
+//! that feeds the auxiliary layout encoder during cross-stage alignment.
+//!
+//! ```
+//! use nettag_netlist::{CellKind, Library, Netlist};
+//! use nettag_physical::{run_flow, FlowConfig};
+//!
+//! let mut n = Netlist::new("demo");
+//! let a = n.add_gate("a", CellKind::Input, vec![]);
+//! let b = n.add_gate("b", CellKind::Input, vec![]);
+//! let g = n.add_gate("G", CellKind::Nand2, vec![a, b]);
+//! let r = n.add_gate("R1", CellKind::Dff, vec![g]);
+//! n.add_gate("y", CellKind::Output, vec![r]);
+//! let n = n.validate().expect("well-formed");
+//!
+//! let out = run_flow(&n, &Library::default(), &FlowConfig::default());
+//! assert!(out.register_slack("R1").expect("endpoint") > 0.0);
+//! assert!(out.power.total > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod flow;
+mod layout;
+mod optimize;
+mod parasitics;
+mod placement;
+mod power;
+mod timing;
+
+pub use activity::{measure_activity, Activity, ActivityConfig};
+pub use flow::{run_flow, FlowConfig, FlowOutcome};
+pub use layout::{LayoutGraph, LayoutNode};
+pub use optimize::{optimize_physical, OptimizeConfig, OptimizeOutcome};
+pub use parasitics::{extract, write_spef, NetParasitics, Parasitics, CAP_PER_UM, RES_PER_UM};
+pub use placement::{place, PlaceConfig, Placement};
+pub use power::{analyze_power, total_area, PowerConfig, PowerReport};
+pub use timing::{analyze_timing, critical_gates, TimingConfig, TimingReport};

@@ -1,0 +1,141 @@
+//! Parasitic (RC) extraction — the SPEF stage of the flow.
+//!
+//! Every net's wire resistance/capacitance is derived from its placed
+//! half-perimeter wirelength with per-um constants in 45nm territory. The
+//! paper's layout graphs are "annotated with capacitance, resistance, and
+//! delay values extracted from the SPEF file" (Sec. II-B); these values
+//! are what the layout encoder and the TAG physical attributes consume.
+
+use crate::placement::Placement;
+use nettag_netlist::{GateId, Library, Netlist};
+use std::fmt::Write as _;
+
+/// Wire resistance per um (kOhm/um), 45nm-like.
+pub const RES_PER_UM: f64 = 0.0038;
+/// Wire capacitance per um (fF/um), 45nm-like.
+pub const CAP_PER_UM: f64 = 0.20;
+
+/// Per-net parasitics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetParasitics {
+    /// Wire resistance (kOhm).
+    pub resistance: f64,
+    /// Wire capacitance (fF).
+    pub capacitance: f64,
+    /// Total load seen by the driver: wire cap + sink pin caps (fF).
+    pub total_load: f64,
+}
+
+/// Extracted parasitics for a whole design.
+#[derive(Debug, Clone)]
+pub struct Parasitics {
+    /// Indexed by driver gate id.
+    pub nets: Vec<NetParasitics>,
+}
+
+/// Extracts RC parasitics for every net.
+pub fn extract(netlist: &Netlist, lib: &Library, placement: &Placement) -> Parasitics {
+    let mut nets = vec![NetParasitics::default(); netlist.gate_count()];
+    for (id, _) in netlist.iter() {
+        let hpwl = placement.net_hpwl(netlist, id);
+        let pin_caps: f64 = netlist
+            .fanout(id)
+            .iter()
+            .map(|&s| lib.params(netlist.gate(s).kind).input_cap)
+            .sum();
+        let capacitance = hpwl * CAP_PER_UM;
+        nets[id.index()] = NetParasitics {
+            resistance: hpwl * RES_PER_UM,
+            capacitance,
+            total_load: capacitance + pin_caps,
+        };
+    }
+    Parasitics { nets }
+}
+
+impl Parasitics {
+    /// Parasitics of the net driven by `driver`.
+    pub fn net(&self, driver: GateId) -> NetParasitics {
+        self.nets[driver.index()]
+    }
+}
+
+/// Renders a SPEF-like text file (subset: name map omitted, one `*D_NET`
+/// record per driven net with total R and C).
+pub fn write_spef(netlist: &Netlist, parasitics: &Parasitics) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "*SPEF \"IEEE 1481-1998\"");
+    let _ = writeln!(s, "*DESIGN \"{}\"", netlist.name());
+    let _ = writeln!(s, "*C_UNIT 1 FF");
+    let _ = writeln!(s, "*R_UNIT 1 KOHM");
+    for (id, g) in netlist.iter() {
+        let p = parasitics.net(id);
+        if p.total_load == 0.0 && netlist.fanout(id).is_empty() {
+            continue;
+        }
+        let _ = writeln!(s, "*D_NET {} {:.4}", g.name, p.capacitance);
+        let _ = writeln!(s, "*RES {:.4}", p.resistance);
+        let _ = writeln!(s, "*LOAD {:.4}", p.total_load);
+        let _ = writeln!(s, "*END");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place, PlaceConfig};
+    use nettag_netlist::CellKind;
+
+    fn fanout_tree() -> Netlist {
+        let mut n = Netlist::new("tree");
+        let a = n.add_gate("a", CellKind::Input, vec![]);
+        let h = n.add_gate("H", CellKind::Buf, vec![a]);
+        for i in 0..6 {
+            let g = n.add_gate(format!("U{i}"), CellKind::Inv, vec![h]);
+            n.add_gate(format!("y{i}"), CellKind::Output, vec![g]);
+        }
+        n.validate().expect("valid")
+    }
+
+    #[test]
+    fn high_fanout_nets_have_more_load() {
+        let n = fanout_tree();
+        let lib = Library::default();
+        let p = place(&n, &lib, &PlaceConfig::default());
+        let x = extract(&n, &lib, &p);
+        let h = n.find("H").expect("exists");
+        let u0 = n.find("U0").expect("exists");
+        assert!(x.net(h).total_load > x.net(u0).total_load);
+        assert!(x.net(h).resistance > 0.0);
+        assert!(x.net(h).capacitance > 0.0);
+    }
+
+    #[test]
+    fn spef_contains_every_loaded_net() {
+        let n = fanout_tree();
+        let lib = Library::default();
+        let p = place(&n, &lib, &PlaceConfig::default());
+        let x = extract(&n, &lib, &p);
+        let spef = write_spef(&n, &x);
+        assert!(spef.contains("*DESIGN \"tree\""));
+        assert!(spef.contains("*D_NET H"));
+        assert!(spef.contains("*R_UNIT 1 KOHM"));
+    }
+
+    #[test]
+    fn load_decomposes_into_wire_and_pins() {
+        let n = fanout_tree();
+        let lib = Library::default();
+        let p = place(&n, &lib, &PlaceConfig::default());
+        let x = extract(&n, &lib, &p);
+        let h = n.find("H").expect("exists");
+        let pin_caps: f64 = n
+            .fanout(h)
+            .iter()
+            .map(|&s| lib.params(n.gate(s).kind).input_cap)
+            .sum();
+        let net = x.net(h);
+        assert!((net.total_load - net.capacitance - pin_caps).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Power analysis.
+//!
+//! Dynamic power = Σ toggle_rate × (internal energy + ½·C_load·V²-
+//! equivalent) × f_clk; leakage from the library, scaled by drive size.
+//! Together with [`crate::activity`] this is the PrimeTime power substitute
+//! producing the Task 4 labels.
+
+use crate::activity::Activity;
+use crate::parasitics::Parasitics;
+use nettag_netlist::{Library, Netlist};
+
+/// Power analysis options.
+#[derive(Debug, Clone)]
+pub struct PowerConfig {
+    /// Clock frequency in GHz (1/clock period ns).
+    pub freq_ghz: f64,
+    /// Supply-voltage-squared scale (V², 45nm nominal 1.1V → 1.21).
+    pub vdd_sq: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            freq_ghz: 1.0,
+            vdd_sq: 1.21,
+        }
+    }
+}
+
+/// Per-design power breakdown (uW).
+#[derive(Debug, Clone)]
+pub struct PowerReport {
+    /// Per-gate dynamic power (uW).
+    pub dynamic: Vec<f64>,
+    /// Per-gate leakage power (uW).
+    pub leakage: Vec<f64>,
+    /// Total power (uW).
+    pub total: f64,
+}
+
+/// Computes switching + leakage power.
+pub fn analyze_power(
+    netlist: &Netlist,
+    lib: &Library,
+    parasitics: &Parasitics,
+    activity: &Activity,
+    config: &PowerConfig,
+) -> PowerReport {
+    let n = netlist.gate_count();
+    let mut dynamic = vec![0.0f64; n];
+    let mut leakage = vec![0.0f64; n];
+    for (id, g) in netlist.iter() {
+        let p = lib.params(g.kind);
+        let i = id.index();
+        let load = parasitics.net(id).total_load;
+        // fJ per toggle: internal + 1/2 C V^2 (fF × V² = fJ).
+        let energy = p.internal_energy * g.size + 0.5 * load * config.vdd_sq;
+        // uW = fJ × GHz × toggles/cycle (1 fJ × 1 GHz = 1 uW).
+        dynamic[i] = activity.toggle_rate[i] * energy * config.freq_ghz;
+        leakage[i] = p.leakage * g.size;
+    }
+    let total = dynamic.iter().sum::<f64>() + leakage.iter().sum::<f64>();
+    PowerReport {
+        dynamic,
+        leakage,
+        total,
+    }
+}
+
+/// Total cell area (um²), drive-size aware — the Task 4 area label.
+pub fn total_area(netlist: &Netlist, lib: &Library) -> f64 {
+    netlist
+        .iter()
+        .map(|(_, g)| lib.params(g.kind).area * g.size)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{measure_activity, ActivityConfig};
+    use crate::parasitics::extract;
+    use crate::placement::{place, PlaceConfig};
+    use nettag_netlist::{CellKind, Netlist};
+
+    fn busy_and_idle() -> (Netlist, Netlist) {
+        // Busy: toggle flop driving inverters. Idle: constant logic.
+        let mut busy = Netlist::new("busy");
+        let r = nettag_netlist::GateId(0);
+        let inv = nettag_netlist::GateId(1);
+        busy.add_gate("R", CellKind::Dff, vec![inv]);
+        busy.add_gate("N", CellKind::Inv, vec![r]);
+        let mut prev = r;
+        for i in 0..6 {
+            prev = busy.add_gate(format!("U{i}"), CellKind::Buf, vec![prev]);
+        }
+        busy.add_gate("y", CellKind::Output, vec![prev]);
+        let busy = busy.validate().expect("valid");
+
+        let mut idle = Netlist::new("idle");
+        let z = idle.add_gate("z", CellKind::Const0, vec![]);
+        let mut prev = z;
+        for i in 0..6 {
+            prev = idle.add_gate(format!("U{i}"), CellKind::Buf, vec![prev]);
+        }
+        idle.add_gate("y", CellKind::Output, vec![prev]);
+        (busy, idle.validate().expect("valid"))
+    }
+
+    fn power_of(n: &Netlist) -> PowerReport {
+        let lib = Library::default();
+        let p = place(n, &lib, &PlaceConfig::default());
+        let x = extract(n, &lib, &p);
+        let a = measure_activity(n, &ActivityConfig::default());
+        analyze_power(n, &lib, &x, &a, &PowerConfig::default())
+    }
+
+    #[test]
+    fn switching_logic_burns_more_power() {
+        let (busy, idle) = busy_and_idle();
+        let pb = power_of(&busy);
+        let pi = power_of(&idle);
+        assert!(pb.total > pi.total, "busy {} vs idle {}", pb.total, pi.total);
+        // Idle design still leaks.
+        assert!(pi.total > 0.0);
+        assert!(pi.dynamic.iter().sum::<f64>() < 1e-9);
+    }
+
+    #[test]
+    fn area_scales_with_gate_sizes() {
+        let (mut busy, _) = busy_and_idle();
+        let lib = Library::default();
+        let a0 = total_area(&busy, &lib);
+        let ids: Vec<_> = busy.ids().collect();
+        for id in ids {
+            busy.gate_mut(id).size = 2.0;
+        }
+        let a1 = total_area(&busy, &lib);
+        assert!((a1 / a0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_scales_dynamic_power_linearly() {
+        let (busy, _) = busy_and_idle();
+        let lib = Library::default();
+        let p = place(&busy, &lib, &PlaceConfig::default());
+        let x = extract(&busy, &lib, &p);
+        let a = measure_activity(&busy, &ActivityConfig::default());
+        let p1 = analyze_power(&busy, &lib, &x, &a, &PowerConfig { freq_ghz: 1.0, vdd_sq: 1.21 });
+        let p2 = analyze_power(&busy, &lib, &x, &a, &PowerConfig { freq_ghz: 2.0, vdd_sq: 1.21 });
+        let d1: f64 = p1.dynamic.iter().sum();
+        let d2: f64 = p2.dynamic.iter().sum();
+        assert!((d2 / d1 - 2.0).abs() < 1e-9);
+    }
+}

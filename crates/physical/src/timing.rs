@@ -1,0 +1,236 @@
+//! Static timing analysis.
+//!
+//! The sign-off timing substitute: per-gate delay = intrinsic + drive
+//! resistance × load (scaled by drive size) + Elmore wire term; arrival
+//! times propagate in topological order; endpoint slack = required −
+//! arrival at register D pins and primary outputs. Task 3 predicts exactly
+//! these endpoint register slacks from the netlist stage.
+
+use crate::parasitics::Parasitics;
+use nettag_netlist::{CellKind, GateId, Library, Netlist};
+use std::collections::HashMap;
+
+/// Timing analysis options.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Clock period (ns).
+    pub clock_period: f64,
+    /// Clock-to-Q delay of registers (ns).
+    pub clk_to_q: f64,
+    /// Register setup time (ns).
+    pub setup: f64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            clock_period: 1.0,
+            clk_to_q: 0.08,
+            setup: 0.04,
+        }
+    }
+}
+
+/// Full STA result.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Arrival time at each gate output (ns).
+    pub arrival: Vec<f64>,
+    /// Gate propagation delay used per gate (ns).
+    pub gate_delay: Vec<f64>,
+    /// Slack per endpoint: register D pins (keyed by register id) and
+    /// primary outputs (keyed by output id).
+    pub endpoint_slack: HashMap<GateId, f64>,
+    /// Worst negative slack (most negative endpoint slack, or the minimum
+    /// slack if all positive).
+    pub wns: f64,
+    /// Total negative slack (sum of negative endpoint slacks).
+    pub tns: f64,
+}
+
+/// Runs STA over a placed-and-extracted design.
+pub fn analyze_timing(
+    netlist: &Netlist,
+    lib: &Library,
+    parasitics: &Parasitics,
+    config: &TimingConfig,
+) -> TimingReport {
+    let n = netlist.gate_count();
+    let mut arrival = vec![0.0f64; n];
+    let mut gate_delay = vec![0.0f64; n];
+    for &id in &nettag_netlist::topo_order(netlist) {
+        let g = netlist.gate(id);
+        let p = lib.params(g.kind);
+        let net = parasitics.net(id);
+        // Drive size scales drive resistance down (bigger = faster) and is
+        // set by the optimizer.
+        let delay = p.intrinsic_delay
+            + (p.drive_res / g.size.max(0.25)) * net.total_load * 1e-3
+            + net.resistance * net.capacitance * 0.5 * 1e-3;
+        gate_delay[id.index()] = delay;
+        arrival[id.index()] = match g.kind {
+            CellKind::Input | CellKind::Const0 | CellKind::Const1 => 0.0,
+            k if k.is_sequential() => config.clk_to_q,
+            CellKind::Output => g
+                .fanin
+                .first()
+                .map(|f| arrival[f.index()])
+                .unwrap_or(0.0),
+            _ => {
+                let worst_in = g
+                    .fanin
+                    .iter()
+                    .map(|f| arrival[f.index()])
+                    .fold(0.0f64, f64::max);
+                worst_in + delay
+            }
+        };
+    }
+    let mut endpoint_slack = HashMap::new();
+    for r in netlist.registers() {
+        let g = netlist.gate(r);
+        let d_arrival = g
+            .fanin
+            .first()
+            .map(|f| arrival[f.index()])
+            .unwrap_or(0.0);
+        endpoint_slack.insert(r, config.clock_period - config.setup - d_arrival);
+    }
+    for o in netlist.outputs() {
+        endpoint_slack.insert(o, config.clock_period - arrival[o.index()]);
+    }
+    let wns = endpoint_slack
+        .values()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let tns = endpoint_slack.values().filter(|&&s| s < 0.0).sum();
+    TimingReport {
+        arrival,
+        gate_delay,
+        endpoint_slack,
+        wns: if wns.is_finite() { wns } else { 0.0 },
+        tns,
+    }
+}
+
+/// The gates on (or near) the critical path: every gate whose arrival is
+/// within `margin` of the worst arrival feeding a violating/critical
+/// endpoint. Used by the optimizer to choose sizing targets.
+pub fn critical_gates(netlist: &Netlist, report: &TimingReport, margin: f64) -> Vec<GateId> {
+    // Find worst endpoint arrival.
+    let mut worst = 0.0f64;
+    for (&ep, _) in &report.endpoint_slack {
+        let g = netlist.gate(ep);
+        let a = if g.kind.is_sequential() {
+            g.fanin
+                .first()
+                .map(|f| report.arrival[f.index()])
+                .unwrap_or(0.0)
+        } else {
+            report.arrival[ep.index()]
+        };
+        worst = worst.max(a);
+    }
+    netlist
+        .ids()
+        .filter(|&id| {
+            let g = netlist.gate(id);
+            g.kind.is_combinational() && report.arrival[id.index()] >= worst - margin
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parasitics::extract;
+    use crate::placement::{place, PlaceConfig};
+    use nettag_netlist::CellKind;
+
+    fn pipeline(depth: usize) -> Netlist {
+        let mut n = Netlist::new("pipe");
+        let a = n.add_gate("a", CellKind::Input, vec![]);
+        let mut cur = a;
+        for i in 0..depth {
+            cur = n.add_gate(format!("U{i}"), CellKind::Xor2, vec![cur, a]);
+        }
+        let r = n.add_gate("R", CellKind::Dff, vec![cur]);
+        n.add_gate("y", CellKind::Output, vec![r]);
+        n.validate().expect("valid")
+    }
+
+    fn run(n: &Netlist, period: f64) -> TimingReport {
+        let lib = Library::default();
+        let p = place(n, &lib, &PlaceConfig::default());
+        let x = extract(n, &lib, &p);
+        analyze_timing(
+            n,
+            &lib,
+            &x,
+            &TimingConfig {
+                clock_period: period,
+                ..TimingConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn arrival_grows_with_depth() {
+        let shallow = pipeline(2);
+        let deep = pipeline(12);
+        let rs = run(&shallow, 1.0);
+        let rd = run(&deep, 1.0);
+        let slack_s = rs.endpoint_slack[&shallow.find("R").expect("exists")];
+        let slack_d = rd.endpoint_slack[&deep.find("R").expect("exists")];
+        assert!(slack_d < slack_s, "deeper logic has less slack");
+    }
+
+    #[test]
+    fn slack_is_monotone_in_clock_period() {
+        let n = pipeline(6);
+        let fast = run(&n, 0.2);
+        let slow = run(&n, 2.0);
+        let r = n.find("R").expect("exists");
+        assert!(slow.endpoint_slack[&r] > fast.endpoint_slack[&r]);
+        assert!(slow.endpoint_slack[&r] - fast.endpoint_slack[&r] - 1.8 < 1e-9);
+    }
+
+    #[test]
+    fn wns_tracks_worst_endpoint() {
+        let n = pipeline(6);
+        let r = run(&n, 1.0);
+        let min = r
+            .endpoint_slack
+            .values()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!((r.wns - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upsizing_reduces_delay() {
+        let mut n = pipeline(6);
+        let base = run(&n, 1.0);
+        // Double every combinational gate's drive.
+        let ids: Vec<GateId> = n.ids().collect();
+        for id in ids {
+            if n.gate(id).kind.is_combinational() {
+                n.gate_mut(id).size = 2.0;
+            }
+        }
+        let sized = run(&n, 1.0);
+        let r = n.find("R").expect("exists");
+        assert!(sized.endpoint_slack[&r] > base.endpoint_slack[&r]);
+    }
+
+    #[test]
+    fn critical_gates_lie_on_the_deep_path() {
+        let n = pipeline(8);
+        let rep = run(&n, 1.0);
+        let crit = critical_gates(&n, &rep, 1e-9);
+        assert!(!crit.is_empty());
+        // The last XOR must be critical.
+        let last = n.find("U7").expect("exists");
+        assert!(crit.contains(&last));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the physical substrate: slack monotonicity,
+//! power positivity/decomposition, placement boundedness, and activity
+//! bounds on randomly generated netlists.
+
+use nettag_netlist::{CellKind, GateId, Library, Netlist};
+use nettag_physical::{
+    analyze_power, analyze_timing, extract, measure_activity, place, run_flow, ActivityConfig,
+    FlowConfig, PlaceConfig, PowerConfig, TimingConfig,
+};
+use proptest::prelude::*;
+
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..5, 4usize..24, any::<u64>()).prop_map(|(n_inputs, n_gates, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = Netlist::new("p");
+        let mut pool: Vec<GateId> = (0..n_inputs)
+            .map(|i| n.add_gate(format!("i{i}"), CellKind::Input, vec![]))
+            .collect();
+        let kinds = [
+            CellKind::Inv,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::Xor2,
+            CellKind::And3,
+            CellKind::Mux2,
+            CellKind::Dff,
+        ];
+        for g in 0..n_gates {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let fanin: Vec<GateId> = (0..kind.arity())
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect();
+            pool.push(n.add_gate(format!("g{g}"), kind, fanin));
+        }
+        let last = *pool.last().expect("non-empty");
+        n.add_gate("y", CellKind::Output, vec![last]);
+        n.validate().expect("layered netlists are acyclic")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Endpoint slack strictly increases with the clock period by exactly
+    /// the period delta (STA linearity).
+    #[test]
+    fn slack_is_linear_in_clock_period(n in arb_netlist()) {
+        let lib = Library::default();
+        let p = place(&n, &lib, &PlaceConfig::default());
+        let x = extract(&n, &lib, &p);
+        let t1 = analyze_timing(&n, &lib, &x, &TimingConfig { clock_period: 1.0, ..TimingConfig::default() });
+        let t2 = analyze_timing(&n, &lib, &x, &TimingConfig { clock_period: 1.7, ..TimingConfig::default() });
+        for (ep, s1) in &t1.endpoint_slack {
+            let s2 = t2.endpoint_slack[ep];
+            prop_assert!((s2 - s1 - 0.7).abs() < 1e-9);
+        }
+    }
+
+    /// Power decomposes into dynamic + leakage and is non-negative;
+    /// leakage alone is positive for any mapped design.
+    #[test]
+    fn power_is_positive_and_decomposes(n in arb_netlist()) {
+        let lib = Library::default();
+        let p = place(&n, &lib, &PlaceConfig::default());
+        let x = extract(&n, &lib, &p);
+        let a = measure_activity(&n, &ActivityConfig { cycles: 8, ..ActivityConfig::default() });
+        let pw = analyze_power(&n, &lib, &x, &a, &PowerConfig::default());
+        let dyn_sum: f64 = pw.dynamic.iter().sum();
+        let leak_sum: f64 = pw.leakage.iter().sum();
+        prop_assert!(dyn_sum >= 0.0);
+        prop_assert!(leak_sum > 0.0);
+        prop_assert!((pw.total - dyn_sum - leak_sum).abs() < 1e-9);
+    }
+
+    /// All placed coordinates are on the die; total HPWL is finite and
+    /// non-negative.
+    #[test]
+    fn placement_is_on_die(n in arb_netlist()) {
+        let lib = Library::default();
+        let p = place(&n, &lib, &PlaceConfig::default());
+        for &(x, y) in &p.coords {
+            prop_assert!(x >= 0.0 && x <= p.die);
+            prop_assert!(y >= 0.0 && y <= p.die);
+        }
+        let hpwl = p.total_hpwl(&n);
+        prop_assert!(hpwl.is_finite() && hpwl >= 0.0);
+    }
+
+    /// Activity is bounded: toggle rates and probabilities live in [0, 1].
+    #[test]
+    fn activity_is_bounded(n in arb_netlist(), seed in 0u64..100) {
+        let a = measure_activity(&n, &ActivityConfig { cycles: 12, seed, ..ActivityConfig::default() });
+        prop_assert!(a.toggle_rate.iter().all(|&t| (0.0..=1.0).contains(&t)));
+        prop_assert!(a.probability.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// The full flow is deterministic and its area includes the cell area.
+    #[test]
+    fn flow_is_deterministic_and_area_consistent(n in arb_netlist()) {
+        let lib = Library::default();
+        let f1 = run_flow(&n, &lib, &FlowConfig::default());
+        let f2 = run_flow(&n, &lib, &FlowConfig::default());
+        prop_assert_eq!(f1.area, f2.area);
+        prop_assert_eq!(f1.power.total, f2.power.total);
+        let cells = nettag_physical::total_area(&n, &lib);
+        prop_assert!(f1.area >= cells - 1e-9, "area must include cells + CTS");
+    }
+}

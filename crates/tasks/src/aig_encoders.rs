@@ -1,0 +1,310 @@
+//! Pre-trained AIG-only encoder baselines for the Fig. 5 comparison.
+//!
+//! The paper compares NetTAG against SOTA AIG encoders on an AIG-format
+//! dataset. Two representative families are rebuilt here at small scale,
+//! keeping each one's defining supervision signal:
+//!
+//! * **FGNN-like** — a GNN pre-trained with *graph contrastive learning*
+//!   over functionally-equivalent AIG variants (FGNN2's objective), then
+//!   frozen; classification uses its node embeddings.
+//! * **DeepGate3-like** — a GNN pre-trained to predict per-node *signal
+//!   probabilities* obtained by random simulation (the truth-table-style
+//!   functional supervision of the DeepGate family), then frozen.
+//!
+//! Both see only AND/INV structure — no cell types, no symbolic
+//! expressions, no physical attributes — which is precisely the
+//! representational limit the paper's Fig. 5 exposes.
+
+use crate::gnn::{GnnConfig, GnnEncoder};
+use nettag_netlist::{aig_to_netlist, netlist_to_aig_tracked, Aig, CellKind, GateId, Netlist};
+use nettag_nn::{info_nce, Adam, Graph, Layer, Linear, Mlp, SparseMatrix, Tensor};
+use nettag_synth::{BlockLabel, Design};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// AIG node feature width: [is_const, is_pi, is_and, fanout, depth-frac].
+pub const AIG_FEATS: usize = 5;
+
+/// An AIG graph prepared for the encoders, with per-AND-node labels
+/// inherited from the source netlist gates.
+pub struct AigSample {
+    /// The AIG re-expressed as an AND2/INV netlist.
+    pub netlist: Netlist,
+    /// Node features (n×AIG_FEATS).
+    pub features: Tensor,
+    /// Directed edges of the AIG netlist.
+    pub edges: Vec<(u32, u32)>,
+    /// Block label per netlist node (usize::MAX = unlabeled).
+    pub labels: Vec<usize>,
+    /// Per-node simulated signal probability (DeepGate supervision).
+    pub sim_prob: Vec<f32>,
+}
+
+/// Lowers a labeled design onto the AIG dataset format.
+pub fn aig_sample(design: &Design, seed: u64) -> AigSample {
+    let (aig, creators) = netlist_to_aig_tracked(&design.netlist);
+    let (netlist, vars) = aig_to_netlist(&aig, design.netlist.name());
+    let features = aig_features(&netlist);
+    let edges: Vec<(u32, u32)> = netlist
+        .iter()
+        .flat_map(|(id, g)| g.fanin.iter().map(move |f| (f.0, id.0)).collect::<Vec<_>>())
+        .collect();
+    // Label AND nodes through the creator map.
+    let first_and = aig.inputs.len() as u32 + 1;
+    let labels: Vec<usize> = netlist
+        .iter()
+        .zip(vars.iter())
+        .map(|((_, g), &var)| {
+            if g.kind != CellKind::And2 || var < first_and {
+                return usize::MAX;
+            }
+            let creator: Option<GateId> = creators[(var - first_and) as usize];
+            creator
+                .and_then(|c| design.labels[c.index()].block)
+                .map(BlockLabel::index)
+                .unwrap_or(usize::MAX)
+        })
+        .collect();
+    let sim_prob = simulate_probabilities(&aig, &netlist, &vars, seed);
+    AigSample {
+        netlist,
+        features,
+        edges,
+        labels,
+        sim_prob,
+    }
+}
+
+fn aig_features(netlist: &Netlist) -> Tensor {
+    let levels = nettag_netlist::levels(netlist);
+    let max_level = levels.iter().copied().max().unwrap_or(1).max(1) as f32;
+    let mut t = Tensor::zeros(netlist.gate_count(), AIG_FEATS);
+    for (id, g) in netlist.iter() {
+        let r = id.index();
+        match g.kind {
+            CellKind::Const0 => t.data[r * AIG_FEATS] = 1.0,
+            CellKind::Input => t.data[r * AIG_FEATS + 1] = 1.0,
+            CellKind::And2 => t.data[r * AIG_FEATS + 2] = 1.0,
+            _ => {}
+        }
+        t.data[r * AIG_FEATS + 3] = (netlist.fanout(id).len() as f32).ln_1p();
+        t.data[r * AIG_FEATS + 4] = levels[r] as f32 / max_level;
+    }
+    t
+}
+
+/// 64-pattern random simulation → per-node signal probability.
+fn simulate_probabilities(aig: &Aig, netlist: &Netlist, vars: &[u32], seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let patterns: Vec<u64> = (0..aig.inputs.len()).map(|_| rng.gen()).collect();
+    let values = aig.simulate(&patterns);
+    netlist
+        .iter()
+        .zip(vars.iter())
+        .map(|((_, g), &var)| {
+            let word = values[var as usize];
+            let word = if g.kind == CellKind::Inv { !word } else { word };
+            word.count_ones() as f32 / 64.0
+        })
+        .collect()
+}
+
+/// A frozen pre-trained AIG encoder with its pre-training style tag.
+pub struct PretrainedAigEncoder {
+    encoder: GnnEncoder,
+    /// Human-readable method name ("FGNN" / "DeepGate3").
+    pub name: &'static str,
+}
+
+/// Pre-trains an FGNN-like encoder: graph contrastive over (sample,
+/// equivalent-variant) AIG pairs.
+pub fn pretrain_fgnn_like(
+    samples: &[AigSample],
+    variants: &[AigSample],
+    config: &GnnConfig,
+    steps: usize,
+) -> PretrainedAigEncoder {
+    let mut encoder = GnnEncoder::new(AIG_FEATS, config);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF6);
+    let mut opt = Adam::new(config.lr);
+    let n = samples.len().min(variants.len());
+    for _ in 0..steps {
+        let mut g = Graph::new();
+        let mut a_rows = Vec::new();
+        let mut b_rows = Vec::new();
+        for _ in 0..4usize.min(n) {
+            let i = rng.gen_range(0..n);
+            let fa = g.constant(samples[i].features.clone());
+            let adj_a = Rc::new(SparseMatrix::normalized_adjacency(
+                samples[i].features.rows,
+                &samples[i].edges,
+            ));
+            let (_, pa) = encoder.forward(&mut g, fa, &adj_a);
+            a_rows.push(pa);
+            let fb = g.constant(variants[i].features.clone());
+            let adj_b = Rc::new(SparseMatrix::normalized_adjacency(
+                variants[i].features.rows,
+                &variants[i].edges,
+            ));
+            let (_, pb) = encoder.forward(&mut g, fb, &adj_b);
+            b_rows.push(pb);
+        }
+        let a = g.stack_rows(&a_rows);
+        let b = g.stack_rows(&b_rows);
+        let loss = info_nce(&mut g, a, b, 0.2);
+        let grads = g.backward(loss);
+        let pg = g.param_grads(&grads);
+        opt.step(&mut encoder.params_mut(), &pg);
+    }
+    PretrainedAigEncoder {
+        encoder,
+        name: "FGNN",
+    }
+}
+
+/// Pre-trains a DeepGate3-like encoder: per-node signal-probability
+/// regression from random simulation (truth-table-style supervision).
+pub fn pretrain_deepgate_like(
+    samples: &[AigSample],
+    config: &GnnConfig,
+    steps: usize,
+) -> PretrainedAigEncoder {
+    let mut encoder = GnnEncoder::new(AIG_FEATS, config);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD6);
+    let mut head = Linear::new(config.dim, 1, &mut rng);
+    let mut opt = Adam::new(config.lr);
+    for _ in 0..steps {
+        let i = rng.gen_range(0..samples.len());
+        let s = &samples[i];
+        let mut g = Graph::new();
+        let f = g.constant(s.features.clone());
+        let adj = Rc::new(SparseMatrix::normalized_adjacency(
+            s.features.rows,
+            &s.edges,
+        ));
+        let (nodes, _) = encoder.forward(&mut g, f, &adj);
+        let pred = head.forward(&mut g, nodes);
+        let target = Tensor::from_vec(s.sim_prob.len(), 1, s.sim_prob.clone());
+        let loss = g.mse(pred, target);
+        let grads = g.backward(loss);
+        let pg = g.param_grads(&grads);
+        let mut params = encoder.params_mut();
+        params.extend(head.params_mut());
+        opt.step(&mut params, &pg);
+    }
+    PretrainedAigEncoder {
+        encoder,
+        name: "DeepGate3",
+    }
+}
+
+impl PretrainedAigEncoder {
+    /// Frozen per-node embeddings of an AIG sample.
+    pub fn node_embeddings(&self, sample: &AigSample) -> Tensor {
+        let mut g = Graph::new();
+        let f = g.constant(sample.features.clone());
+        let adj = Rc::new(SparseMatrix::normalized_adjacency(
+            sample.features.rows,
+            &sample.edges,
+        ));
+        let (nodes, _) = self.encoder.forward(&mut g, f, &adj);
+        g.value(nodes).clone()
+    }
+}
+
+/// Trains a classifier head on frozen AIG-encoder embeddings and
+/// evaluates on held-out samples; returns (pred, truth) class indices.
+pub fn classify_with_frozen_encoder(
+    encoder: &PretrainedAigEncoder,
+    train: &[&AigSample],
+    test: &AigSample,
+    classes: usize,
+    finetune: &nettag_core::FinetuneConfig,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut train_x = Vec::new();
+    let mut train_y = Vec::new();
+    for s in train {
+        let emb = encoder.node_embeddings(s);
+        for (i, &l) in s.labels.iter().enumerate() {
+            if l != usize::MAX {
+                train_x.push(emb.row_slice(i).to_vec());
+                train_y.push(l);
+            }
+        }
+    }
+    let head = nettag_core::ClassifierHead::train(&train_x, &train_y, classes, finetune);
+    let emb = encoder.node_embeddings(test);
+    let mut test_x = Vec::new();
+    let mut truth = Vec::new();
+    for (i, &l) in test.labels.iter().enumerate() {
+        if l != usize::MAX {
+            test_x.push(emb.row_slice(i).to_vec());
+            truth.push(l);
+        }
+    }
+    (head.predict(&test_x), truth)
+}
+
+/// Uses a Mlp as a head over sim-prob features? (kept private; the public
+/// path is `classify_with_frozen_encoder`.)
+#[allow(dead_code)]
+fn _unused(_: &Mlp) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettag_synth::generate_gnnre_design;
+
+    #[test]
+    fn aig_sample_has_labeled_and_nodes() {
+        let d = generate_gnnre_design(0, 5, 3);
+        let s = aig_sample(&d, 1);
+        let labeled = s.labels.iter().filter(|&&l| l != usize::MAX).count();
+        assert!(labeled > 10, "AND nodes inherit labels, got {labeled}");
+        assert_eq!(s.features.rows, s.netlist.gate_count());
+        assert!(s.sim_prob.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn aig_netlist_contains_only_and_inv_io() {
+        let d = generate_gnnre_design(1, 5, 3);
+        let s = aig_sample(&d, 1);
+        for (_, g) in s.netlist.iter() {
+            assert!(matches!(
+                g.kind,
+                CellKind::And2 | CellKind::Inv | CellKind::Input | CellKind::Output | CellKind::Const0
+            ));
+        }
+    }
+
+    #[test]
+    fn fgnn_and_deepgate_pretrain_and_classify() {
+        let designs: Vec<Design> = (0..3).map(|i| generate_gnnre_design(i, 5, 3)).collect();
+        let samples: Vec<AigSample> = designs.iter().map(|d| aig_sample(d, 1)).collect();
+        // Variants: same designs, different seed (structure jitter via the
+        // seeded simulation only) — use the same sample as its own variant
+        // for the smoke test.
+        let cfg = GnnConfig {
+            epochs: 0,
+            ..GnnConfig::default()
+        };
+        let fgnn = pretrain_fgnn_like(&samples, &samples, &cfg, 3);
+        let dg = pretrain_deepgate_like(&samples, &cfg, 3);
+        let ft = nettag_core::FinetuneConfig {
+            epochs: 15,
+            ..nettag_core::FinetuneConfig::default()
+        };
+        for enc in [&fgnn, &dg] {
+            let (pred, truth) = classify_with_frozen_encoder(
+                enc,
+                &[&samples[0], &samples[1]],
+                &samples[2],
+                nettag_synth::ALL_BLOCK_LABELS.len(),
+                &ft,
+            );
+            assert_eq!(pred.len(), truth.len());
+            assert!(!pred.is_empty());
+        }
+    }
+}

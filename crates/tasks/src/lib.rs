@@ -1,0 +1,30 @@
+//! # nettag-tasks — downstream tasks and baselines
+//!
+//! The four evaluation tasks of the paper (Tables III–V) with all
+//! comparison methods rebuilt from scratch: GNN-RE / ReIGNN / timing-GNN /
+//! PowPrediCT-style supervised GNNs, the synthesis-tool estimator, and the
+//! AIG-only pre-trained encoders (FGNN-like, DeepGate3-like) of Fig. 5,
+//! plus the metrics those tables report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aig_encoders;
+pub mod gnn;
+pub mod metrics;
+pub mod suite;
+pub mod task1;
+pub mod task2;
+pub mod task3;
+pub mod task4;
+
+pub use gnn::{structural_features, GnnConfig, GnnEncoder, GnnGraph, GnnGraphModel, GnnNodeClassifier};
+pub use metrics::{
+    classification_metrics, regression_metrics, sensitivity_metrics, BinarySensitivity,
+    Classification, Regression,
+};
+pub use suite::{build_suite, pretrain_designs, SuiteConfig, TaskSuite};
+pub use task1::{run_task1, Task1Report, Task1Row};
+pub use task2::{run_task2, Task2Report, Task2Row};
+pub use task3::{run_task3, Task3Report, Task3Row};
+pub use task4::{ppa_samples, run_task4, PpaTarget, Task4Report, Task4Row};

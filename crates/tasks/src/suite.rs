@@ -1,0 +1,156 @@
+//! The evaluation design suites for Tasks 1–4.
+//!
+//! Mirrors the paper's setup: Task 1 uses a 9-design GNN-RE-style
+//! combinational suite; Tasks 2–3 use the eight named designs of Table IV
+//! (two per benchmark family); Task 4 uses a wider cross-family pool for
+//! circuit-level regression.
+
+use nettag_netlist::Library;
+use nettag_synth::{generate_design, generate_gnnre_design, Design, Family, GenerateConfig};
+
+/// Suite construction options.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Base seed (generators derive per-design seeds from it).
+    pub seed: u64,
+    /// Scale factor for sequential designs.
+    pub scale: f64,
+    /// Word width for the Task 1 suite.
+    pub task1_width: u8,
+    /// Number of Task 1 designs (paper: 9).
+    pub task1_designs: usize,
+    /// Designs per family for Task 4.
+    pub task4_per_family: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            seed: 0x5C17E,
+            scale: 0.6,
+            task1_width: 4,
+            task1_designs: 9,
+            task4_per_family: 4,
+        }
+    }
+}
+
+/// All evaluation designs.
+pub struct TaskSuite {
+    /// Technology library.
+    pub lib: Library,
+    /// Task 1: labeled combinational designs.
+    pub task1: Vec<Design>,
+    /// Tasks 2–3: named sequential designs (Table IV rows).
+    pub task23: Vec<(String, Design)>,
+    /// Task 4: cross-family pool for circuit-level PPA.
+    pub task4: Vec<Design>,
+}
+
+/// Builds the full evaluation suite.
+pub fn build_suite(config: &SuiteConfig) -> TaskSuite {
+    let lib = Library::default();
+    let task1 = (0..config.task1_designs)
+        .map(|i| generate_gnnre_design(i, config.seed ^ 0x71, config.task1_width))
+        .collect();
+    let gen = GenerateConfig {
+        scale: config.scale,
+        ..GenerateConfig::default()
+    };
+    // Table IV naming: itc1, itc2, chipyard1, chipyard2, vex1, vex2,
+    // opencores1, opencores2.
+    let named = [
+        ("itc1", Family::Itc99, 0usize),
+        ("itc2", Family::Itc99, 1),
+        ("chipyard1", Family::Chipyard, 0),
+        ("chipyard2", Family::Chipyard, 1),
+        ("vex1", Family::VexRiscv, 0),
+        ("vex2", Family::VexRiscv, 1),
+        ("opencores1", Family::OpenCores, 0),
+        ("opencores2", Family::OpenCores, 1),
+    ];
+    let task23 = named
+        .into_iter()
+        .map(|(name, fam, idx)| {
+            (
+                name.to_string(),
+                generate_design(fam, idx, config.seed ^ 0x23, &gen),
+            )
+        })
+        .collect();
+    let mut task4 = Vec::new();
+    for fam in nettag_synth::ALL_FAMILIES {
+        for i in 0..config.task4_per_family {
+            task4.push(generate_design(fam, i + 10, config.seed ^ 0x44, &gen));
+        }
+    }
+    TaskSuite {
+        lib,
+        task1,
+        task23,
+        task4,
+    }
+}
+
+/// Builds the pre-training design set (disjoint seeds from the task
+/// suites, mimicking the paper's separate pre-training corpus).
+pub fn pretrain_designs(seed: u64, per_family: usize, scale: f64) -> Vec<Design> {
+    let gen = GenerateConfig {
+        scale,
+        ..GenerateConfig::default()
+    };
+    let mut out = Vec::new();
+    for fam in nettag_synth::ALL_FAMILIES {
+        for i in 0..per_family {
+            out.push(generate_design(fam, i + 100, seed ^ 0xA7, &gen));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_expected_shape() {
+        let cfg = SuiteConfig {
+            task1_designs: 3,
+            task4_per_family: 1,
+            scale: 0.4,
+            ..SuiteConfig::default()
+        };
+        let suite = build_suite(&cfg);
+        assert_eq!(suite.task1.len(), 3);
+        assert_eq!(suite.task23.len(), 8);
+        assert_eq!(suite.task4.len(), 4);
+        // Task 2/3 designs are sequential; Task 1 designs combinational.
+        for d in &suite.task1 {
+            assert!(d.netlist.registers().is_empty());
+        }
+        for (name, d) in &suite.task23 {
+            assert!(!d.netlist.registers().is_empty(), "{name} has registers");
+        }
+    }
+
+    #[test]
+    fn pretrain_designs_are_disjoint_from_suite() {
+        let pre = pretrain_designs(7, 1, 0.4);
+        assert_eq!(pre.len(), 4);
+        // Different seeds/indices: design names differ from suite names.
+        let suite = build_suite(&SuiteConfig {
+            task1_designs: 1,
+            task4_per_family: 1,
+            scale: 0.4,
+            ..SuiteConfig::default()
+        });
+        for p in &pre {
+            for d in &suite.task4 {
+                assert_ne!(
+                    (p.netlist.name(), p.netlist.gate_count()),
+                    (d.netlist.name(), d.netlist.gate_count())
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Fig. 8 demo: reasoning about a netlist's arithmetic function.
+//!
+//! An "LLM" reading flattened netlist Verilog can only see anonymous NAND
+//! soup. With NetTAG's gate-function identification attached, the same
+//! reader can name the blocks and state what the module computes. The
+//! paper uses OpenAI o1-preview as the reader; here the reader is a
+//! template-based summarizer, which suffices to show the information
+//! delta NetTAG provides.
+//!
+//! Run with: `cargo run --release --example netlist_reasoning`
+
+use nettag::core::{ClassifierHead, FinetuneConfig, NetTag, NetTagConfig};
+use nettag::netlist::{write_verilog, Library};
+use nettag::synth::{generate_gnnre_design, BlockLabel, ALL_BLOCK_LABELS};
+use nettag::tasks::task1::nettag_gate_samples;
+
+fn main() {
+    let lib = Library::default();
+    let model = NetTag::new(NetTagConfig::tiny());
+
+    // The mystery module: a comparator-selected adder/multiplier datapath.
+    let design = generate_gnnre_design(0, 13, 3);
+    let verilog = write_verilog(&design.netlist);
+
+    println!("== the flattened netlist an LLM would see ==\n");
+    for line in verilog.lines().take(14) {
+        println!("  {line}");
+    }
+    println!("  ... ({} more lines)\n", verilog.lines().count().saturating_sub(14));
+
+    println!("== reading WITHOUT NetTAG annotations ==\n");
+    println!("  \"The design seems to conditionally combine bits using logical");
+    println!("   operations and multiplexing; the arithmetic intent is unclear.\"\n");
+
+    // NetTAG: identify each gate's functional block, then summarize.
+    println!("== reading WITH NetTAG gate-function identification ==\n");
+    let train: Vec<_> = (1..5).map(|i| generate_gnnre_design(i, 13, 3)).collect();
+    let mut train_x = Vec::new();
+    let mut train_y = Vec::new();
+    for d in &train {
+        let s = nettag_gate_samples(&model, d, &lib);
+        train_x.extend(s.features);
+        train_y.extend(s.labels);
+    }
+    let head = ClassifierHead::train(
+        &train_x,
+        &train_y,
+        ALL_BLOCK_LABELS.len(),
+        &FinetuneConfig {
+            epochs: 80,
+            ..FinetuneConfig::default()
+        },
+    );
+    let samples = nettag_gate_samples(&model, &design, &lib);
+    let pred = head.predict(&samples.features);
+    let mut counts = vec![0usize; ALL_BLOCK_LABELS.len()];
+    for &p in &pred {
+        counts[p] += 1;
+    }
+    println!("  NetTAG block inventory:");
+    for (label, &count) in ALL_BLOCK_LABELS.iter().zip(counts.iter()) {
+        if count > 0 {
+            println!("    {:<11} {:>4} gates", label.name(), count);
+        }
+    }
+    // Template reasoner over the identified blocks (the Fig. 8 narrative).
+    let has = |b: BlockLabel| counts[b.index()] > 0;
+    let mut story: Vec<&str> = Vec::new();
+    if has(BlockLabel::Comparator) {
+        story.push("compares two operand values");
+    }
+    if has(BlockLabel::Adder) {
+        story.push("performs addition on them");
+    }
+    if has(BlockLabel::Multiplier) {
+        story.push("performs multiplication");
+    }
+    if has(BlockLabel::Control) {
+        story.push("selects the result based on the comparison outcome");
+    }
+    if has(BlockLabel::Logic) {
+        story.push("applies bitwise post-processing");
+    }
+    println!("\n  \"This module {}.\"", story.join(", "));
+    println!(
+        "\n(paper Fig. 8: \"compares two 2-bit values a and b, performs addition and\n\
+         multiplication on them, and selects the result based on the comparison outcome\")"
+    );
+}

@@ -1,0 +1,100 @@
+//! Cross-crate functional-equivalence guarantees: every transformation the
+//! flow applies (logic optimization, restructuring augmentation, physical
+//! optimization) must preserve circuit function, and expression
+//! augmentation must preserve Boolean semantics. These invariants are what
+//! make the contrastive "positives" of the pre-training objectives sound.
+
+use nettag::expr::{augment_equivalent, equivalent, AugmentConfig, RandomExprConfig, RandomExprGen};
+use nettag::synth::{
+    check_equivalent_random, generate_design, optimize, restructure_equivalent, Family,
+    GenerateConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn expression_augmentation_preserves_semantics_on_many_random_exprs() {
+    let mut gen = RandomExprGen::new(RandomExprConfig::default());
+    let mut rng = StdRng::seed_from_u64(0xE0);
+    let cfg = AugmentConfig::default();
+    for _ in 0..200 {
+        let e = gen.generate(&mut rng);
+        let v = augment_equivalent(&e, &cfg, &mut rng);
+        assert!(equivalent(&e, &v), "augmentation broke {e} -> {v}");
+    }
+}
+
+#[test]
+fn logic_optimization_preserves_function_across_families() {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    for family in [Family::OpenCores, Family::VexRiscv, Family::Itc99] {
+        let raw = generate_design(
+            family,
+            0,
+            5,
+            &GenerateConfig {
+                scale: 0.4,
+                optimize: false,
+                remap_prob: 0.0,
+            },
+        );
+        let opt = optimize(&raw);
+        assert!(
+            check_equivalent_random(&raw, &opt, 20, &mut rng),
+            "{family:?}: optimization changed behaviour"
+        );
+        assert!(opt.netlist.gate_count() <= raw.netlist.gate_count());
+    }
+}
+
+#[test]
+fn restructuring_augmentation_preserves_function() {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    let design = generate_design(
+        Family::Chipyard,
+        0,
+        5,
+        &GenerateConfig {
+            scale: 0.3,
+            ..GenerateConfig::default()
+        },
+    );
+    for steps in [2usize, 6, 12] {
+        let aug = restructure_equivalent(&design, steps, &mut rng);
+        let mut check_rng = StdRng::seed_from_u64(steps as u64);
+        assert!(
+            check_equivalent_random(&design, &aug, 16, &mut check_rng),
+            "restructuring with {steps} steps changed behaviour"
+        );
+    }
+}
+
+#[test]
+fn physical_optimization_preserves_function() {
+    use nettag::netlist::Library;
+    use nettag::physical::{optimize_physical, OptimizeConfig};
+    let design = generate_design(
+        Family::VexRiscv,
+        1,
+        5,
+        &GenerateConfig {
+            scale: 0.4,
+            ..GenerateConfig::default()
+        },
+    );
+    let lib = Library::default();
+    let out = optimize_physical(&design.netlist, &lib, &OptimizeConfig::default());
+    // Wrap in Designs to reuse the random equivalence checker.
+    let a = nettag::synth::Design {
+        netlist: design.netlist.clone(),
+        labels: design.labels.clone(),
+        rtl: design.rtl.clone(),
+    };
+    let b = nettag::synth::Design {
+        labels: vec![Default::default(); out.netlist.gate_count()],
+        netlist: out.netlist,
+        rtl: design.rtl.clone(),
+    };
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    assert!(check_equivalent_random(&a, &b, 20, &mut rng));
+}
