@@ -11,14 +11,18 @@ use nettag_core::{ClassifierHead, NetTag};
 use nettag_netlist::Tag;
 use nettag_synth::{restructure_equivalent, ALL_BLOCK_LABELS};
 use nettag_tasks::aig_encoders::{
-    aig_sample, classify_with_frozen_encoder, pretrain_deepgate_like, pretrain_fgnn_like,
-    AigSample,
+    aig_sample, classify_with_frozen_encoder, pretrain_deepgate_like, pretrain_fgnn_like, AigSample,
 };
 use nettag_tasks::metrics::{classification_metrics, Classification};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn tag_features(model: &NetTag, sample: &AigSample, lib: &nettag_netlist::Library, text_only: bool) -> Vec<Vec<f32>> {
+fn tag_features(
+    model: &NetTag,
+    sample: &AigSample,
+    lib: &nettag_netlist::Library,
+    text_only: bool,
+) -> Vec<Vec<f32>> {
     let tag = Tag::from_netlist(&sample.netlist, lib, &model.tag_options());
     if text_only {
         let f = model.node_features(&tag);

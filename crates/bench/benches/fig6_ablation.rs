@@ -138,7 +138,10 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Fig. 6: ablation study (scale={}, reduced suite)", scale.name),
+        &format!(
+            "Fig. 6: ablation study (scale={}, reduced suite)",
+            scale.name
+        ),
         &[
             "Variant",
             "T1 Acc%",

@@ -7,8 +7,8 @@
 
 use nettag_bench::{eval_all_tasks, print_table, Scale};
 use nettag_core::data::PretrainData;
-use nettag_core::{pretrain, NetTag, NetTagConfig};
 use nettag_core::data::{build_pretrain_data, DataConfig};
+use nettag_core::{pretrain, NetTag, NetTagConfig};
 use nettag_netlist::Library;
 use nettag_tasks::{build_suite, pretrain_designs, SuiteConfig};
 
@@ -73,7 +73,9 @@ fn main() {
     }
     print_table(
         &format!("Fig. 7(a): scaling model size (scale={})", scale.name),
-        &["Model", "T1 Acc%", "T2 Acc%", "T3 MAPE%", "T4 MAPE%", "paper"],
+        &[
+            "Model", "T1 Acc%", "T2 Acc%", "T3 MAPE%", "T4 MAPE%", "paper",
+        ],
         &rows_a,
     );
     // (b) Data size sweep.
@@ -100,7 +102,9 @@ fn main() {
     }
     print_table(
         &format!("Fig. 7(b): scaling data size (scale={})", scale.name),
-        &["Data", "T1 Acc%", "T2 Acc%", "T3 MAPE%", "T4 MAPE%", "paper"],
+        &[
+            "Data", "T1 Acc%", "T2 Acc%", "T3 MAPE%", "T4 MAPE%", "paper",
+        ],
         &rows_b,
     );
     println!("\nShape check: metrics should improve (accuracy up, MAPE down) along both sweeps.");

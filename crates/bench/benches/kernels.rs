@@ -1,0 +1,227 @@
+//! Kernel micro-benchmarks with a JSON baseline.
+//!
+//! Measures the rewritten numeric core against seed-replica kernels kept
+//! inline here (naive zero-skip matmul, nested-Vec SpMM):
+//!
+//! * 512×512 dense matmul (blocked row-parallel vs seed naive)
+//! * SpMM on a 10k-node / 40k-edge normalized adjacency (CSR vs nested)
+//! * autograd backward pass on an MLP step (in-place accumulation)
+//! * one TAGFormer-style fused forward+backward step
+//!
+//! Run with `cargo bench -p nettag-bench --bench kernels`. Thread count
+//! follows `RAYON_NUM_THREADS` / `NETTAG_NUM_THREADS`. Results (and the
+//! per-kernel speedup over the seed replicas) are printed and written to
+//! `BENCH_kernels.json` in the working directory so future performance
+//! PRs have a trajectory to beat.
+
+use nettag_nn::{Graph, Mlp, SparseMatrix, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Seed-replica dense matmul: i-k-j loops with the original zero-skip
+/// branch, kept verbatim so speedups are measured against the real seed
+/// kernel.
+fn seed_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for k in 0..a.cols {
+            let av = a.at(i, k);
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &b.data[k * b.cols..(k + 1) * b.cols];
+            let out_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
+            for (o, &bv) in out_row.iter_mut().zip(orow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Seed-replica sparse layout and SpMM: per-row `Vec<(u32, f32)>`.
+struct SeedSparse {
+    rows: Vec<Vec<(u32, f32)>>,
+}
+
+impl SeedSparse {
+    fn from_csr(m: &SparseMatrix) -> SeedSparse {
+        SeedSparse {
+            rows: (0..m.n).map(|i| m.row_entries(i).collect()).collect(),
+        }
+    }
+
+    fn matmul(&self, x: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows.len(), x.cols);
+        for (i, row) in self.rows.iter().enumerate() {
+            let orow = &mut out.data[i * x.cols..(i + 1) * x.cols];
+            for &(c, w) in row {
+                let xrow = x.row_slice(c as usize);
+                for (o, &v) in orow.iter_mut().zip(xrow.iter()) {
+                    *o += w * v;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Times `f` adaptively: batch sized during warm-up, best-of-4 batches,
+/// reported as seconds per iteration.
+fn time_it<R>(mut f: impl FnMut() -> R) -> f64 {
+    let mut iters = 1u64;
+    let per = loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt > 0.2 || iters >= 1 << 16 {
+            break dt / iters as f64;
+        }
+        iters *= 2;
+    };
+    let batch = ((0.12 / per.max(1e-9)) as u64).clamp(1, 1 << 16);
+    let mut best = f64::INFINITY;
+    for _ in 0..4 {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / batch as f64);
+    }
+    best
+}
+
+struct Entry {
+    name: &'static str,
+    seconds: f64,
+    seed_seconds: Option<f64>,
+}
+
+fn main() {
+    let threads = nettag_par::num_threads();
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+
+    // --- dense matmul 512x512 ---------------------------------------
+    let a = Tensor::xavier(512, 512, &mut rng);
+    let b = Tensor::xavier(512, 512, &mut rng);
+    assert_eq!(a.matmul(&b).data, a.matmul_ref(&b).data);
+    let t_new = time_it(|| a.matmul(&b));
+    let t_seed = time_it(|| seed_matmul(&a, &b));
+    entries.push(Entry {
+        name: "matmul_512",
+        seconds: t_new,
+        seed_seconds: Some(t_seed),
+    });
+
+    // --- SpMM: 10k nodes / 40k edges --------------------------------
+    let n = 10_000;
+    let edges: Vec<(u32, u32)> = (0..40_000)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    let adj = SparseMatrix::normalized_adjacency(n, &edges);
+    let x = Tensor::xavier(n, 64, &mut rng);
+    let seed_adj = SeedSparse::from_csr(&adj);
+    let t_new = time_it(|| adj.matmul(&x));
+    let t_seed = time_it(|| seed_adj.matmul(&x));
+    entries.push(Entry {
+        name: "spmm_10k_40k",
+        seconds: t_new,
+        seed_seconds: Some(t_seed),
+    });
+
+    // --- autograd backward on an MLP step ---------------------------
+    let mut mlp_rng = StdRng::seed_from_u64(7);
+    let mlp = Mlp::new(&[128, 256, 256, 64], &mut mlp_rng);
+    let input = Tensor::xavier(64, 128, &mut mlp_rng);
+    let target = Tensor::zeros(64, 64);
+    let t_bwd = time_it(|| {
+        let mut g = Graph::new();
+        let x = g.constant(input.clone());
+        let y = mlp.forward(&mut g, x);
+        let loss = g.mse(y, target.clone());
+        let grads = g.backward(loss);
+        g.param_grads(&grads).len()
+    });
+    entries.push(Entry {
+        name: "mlp_forward_backward",
+        seconds: t_bwd,
+        seed_seconds: None,
+    });
+
+    // --- TAGFormer-style propagation step ---------------------------
+    let gn = 256;
+    let gd = 64;
+    let gedges: Vec<(u32, u32)> = (0..gn as u32 - 1).map(|i| (i, i + 1)).collect();
+    let gadj = std::rc::Rc::new(SparseMatrix::normalized_adjacency(gn, &gedges));
+    let feats = Tensor::xavier(gn, gd, &mut rng);
+    let w = Tensor::xavier(gd, gd, &mut rng);
+    let bias = Tensor::xavier(1, gd, &mut rng);
+    let t_step = time_it(|| {
+        let mut g = Graph::new();
+        let xn = g.constant(feats.clone());
+        let wn = g.param(1, w.clone());
+        let bn = g.param(2, bias.clone());
+        let p = g.spmm(gadj.clone(), xn);
+        let h = g.linear_relu(p, wn, bn);
+        let m = g.mean_rows(h);
+        let loss = g.mse(m, Tensor::zeros(1, gd));
+        let grads = g.backward(loss);
+        g.param_grads(&grads).len()
+    });
+    entries.push(Entry {
+        name: "graph_propagation_step",
+        seconds: t_step,
+        seed_seconds: None,
+    });
+
+    // --- report ------------------------------------------------------
+    println!("kernel benches ({threads} thread(s)):");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    if host_cpus == 1 {
+        json.push_str(
+            "  \"note\": \"single-core host: only the cache/register-tiling term is \
+             measured; the row-parallel term needs a multi-core re-record\",\n",
+        );
+    }
+    json.push_str("  \"kernels\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = e.seed_seconds.map(|s| s / e.seconds);
+        match (e.seed_seconds, speedup) {
+            (Some(seed), Some(sp)) => println!(
+                "  {:<24} {:>10.3} ms   (seed {:>10.3} ms, speedup {:.2}x)",
+                e.name,
+                e.seconds * 1e3,
+                seed * 1e3,
+                sp
+            ),
+            _ => println!("  {:<24} {:>10.3} ms", e.name, e.seconds * 1e3),
+        }
+        json.push_str(&format!(
+            "    \"{}\": {{\"seconds\": {:.6e}{}}}{}\n",
+            e.name,
+            e.seconds,
+            match (e.seed_seconds, speedup) {
+                (Some(s), Some(sp)) => format!(", \"seed_seconds\": {s:.6e}, \"speedup\": {sp:.3}"),
+                _ => String::new(),
+            },
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    // Land the baseline at the workspace root regardless of bench cwd.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_kernels.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote BENCH_kernels.json");
+    }
+}

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nettag_core::{NetTag, NetTagConfig};
 use nettag_expr::token::tokenize_expr;
 use nettag_netlist::{chunk_into_cones, gate_expr, Library, Tag, TagOptions};
-use nettag_physical::{analyze_timing, extract, measure_activity, place, ActivityConfig, PlaceConfig, TimingConfig};
+use nettag_physical::{
+    analyze_timing, extract, measure_activity, place, ActivityConfig, PlaceConfig, TimingConfig,
+};
 use nettag_synth::{generate_design, Family, GenerateConfig};
 
 fn bench_expression_extraction(c: &mut Criterion) {

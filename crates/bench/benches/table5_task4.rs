@@ -26,10 +26,7 @@ fn main() {
             format!("{}/{:.0}", f2(r.tool.r), r.tool.mape),
             format!("{}/{:.0}", f2(r.gnn.r), r.gnn.mape),
             format!("{}/{:.0}", f2(r.nettag.r), r.nettag.mape),
-            format!(
-                "{} | {} | {}",
-                paper[i].1, paper[i].2, paper[i].3
-            ),
+            format!("{} | {} | {}", paper[i].1, paper[i].2, paper[i].3),
         ]);
     }
     print_table(
@@ -38,7 +35,13 @@ fn main() {
             pipeline.scale.name,
             pipeline.suite.task4.len()
         ),
-        &["Target", "EDA tool", "GNN", "NetTAG", "paper(tool|GNN|NetTAG)"],
+        &[
+            "Target",
+            "EDA tool",
+            "GNN",
+            "NetTAG",
+            "paper(tool|GNN|NetTAG)",
+        ],
         &rows,
     );
     println!(

@@ -5,8 +5,8 @@
 //! generates corpora, pre-trains NetTAG once, and exposes the task suite,
 //! plus table printing with the paper's reference numbers alongside.
 
-use nettag_core::{pretrain, NetTag, NetTagConfig, PretrainConfig};
 use nettag_core::data::{build_pretrain_data, DataConfig, PretrainData};
+use nettag_core::{pretrain, NetTag, NetTagConfig, PretrainConfig};
 use nettag_netlist::Library;
 use nettag_tasks::{build_suite, pretrain_designs, GnnConfig, SuiteConfig, TaskSuite};
 use std::time::Instant;

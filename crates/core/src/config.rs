@@ -93,7 +93,11 @@ impl NetTagConfig {
         s1b.embed_dim = 16;
         s1b.graph_dim = 16;
         let s8b = Self::small();
-        vec![("110M (BERT)", s110m), ("1.3B (Llama)", s1b), ("8B (Llama)", s8b)]
+        vec![
+            ("110M (BERT)", s110m),
+            ("1.3B (Llama)", s1b),
+            ("8B (Llama)", s8b),
+        ]
     }
 }
 

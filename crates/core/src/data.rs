@@ -119,7 +119,14 @@ pub fn build_pretrain_data(designs: &[Design], lib: &Library, config: &DataConfi
             }
             let root_name = design.netlist.gate(cone.root).name.clone();
             cones.push(build_cone_sample(
-                design, &sub, &root_name, lib, &tag_opts, &phys_by_name, config, &mut rng,
+                design,
+                &sub,
+                &root_name,
+                lib,
+                &tag_opts,
+                &phys_by_name,
+                config,
+                &mut rng,
             ));
         }
     }
@@ -215,7 +222,12 @@ pub fn rtl_cone_text(rtl: &RtlModule, root_gate_name: &str) -> String {
                 }
                 v
             })
-            .chain(rtl.assigns.iter().filter(|a| a.target == s).map(|a| &a.expr))
+            .chain(
+                rtl.assigns
+                    .iter()
+                    .filter(|a| a.target == s)
+                    .map(|a| &a.expr),
+            )
             .collect();
         for e in exprs {
             collect_sigs(e, &mut |id| {
@@ -348,7 +360,7 @@ mod tests {
         let data = small_corpus();
         for c in &data.cones {
             for &t in &c.size_targets {
-                assert!(t >= 0.0 && t < 10.0);
+                assert!((0.0..10.0).contains(&t));
             }
         }
     }

@@ -18,8 +18,22 @@ use serde::{Deserialize, Serialize};
 
 /// RTL keywords registered as whole-word tokens.
 pub const RTL_KEYWORDS: [&str; 16] = [
-    "module", "endmodule", "input", "output", "wire", "reg", "assign", "always", "posedge",
-    "clk", "if", "begin", "end", "case", "default", "else",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "posedge",
+    "clk",
+    "if",
+    "begin",
+    "end",
+    "case",
+    "default",
+    "else",
 ];
 
 /// Builds the word list for the RTL vocabulary.
@@ -159,7 +173,9 @@ impl LayoutEncoder {
 
     /// Inference-only encoding of a layout graph.
     pub fn encode(&self, layout: &LayoutGraph, die: f64) -> Tensor {
-        let (_, cls) = self.model.encode(&Self::features(layout, die), &layout.edges);
+        let (_, cls) = self
+            .model
+            .encode(&Self::features(layout, die), &layout.edges);
         cls
     }
 }
@@ -185,7 +201,10 @@ mod tests {
             64,
         );
         assert_eq!(toks[0], vocab.special(Special::Cls));
-        assert_eq!(*toks.last().expect("non-empty"), vocab.special(Special::Eos));
+        assert_eq!(
+            *toks.last().expect("non-empty"),
+            vocab.special(Special::Eos)
+        );
         assert!(toks.contains(&vocab.word("module")));
         assert!(toks.contains(&vocab.word("assign")));
         assert!(toks.contains(&vocab.grammar("=")));

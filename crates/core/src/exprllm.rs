@@ -80,13 +80,18 @@ impl ExprLlm {
         g.value(out).clone()
     }
 
-    /// Inference-only batch encoding, one row per sequence.
+    /// Inference-only batch encoding, one row per sequence. Sequences are
+    /// independent, so the batch parallelizes across worker threads (each
+    /// builds its own throwaway graph).
     pub fn encode_batch(&self, batch: &[Vec<TokenId>]) -> Tensor {
-        let mut out = Tensor::zeros(batch.len(), self.proj.b.value.cols);
-        for (r, toks) in batch.iter().enumerate() {
-            let e = self.encode(toks);
-            out.data[r * out.cols..(r + 1) * out.cols].copy_from_slice(&e.data);
-        }
+        let cols = self.proj.b.value.cols;
+        let mut out = Tensor::zeros(batch.len(), cols);
+        nettag_par::for_each_row_block_mut(&mut out.data, cols, |first_row, chunk| {
+            for (bi, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                let e = self.encode(&batch[first_row + bi]);
+                row.copy_from_slice(&e.data);
+            }
+        });
         out
     }
 }
@@ -107,8 +112,8 @@ impl Layer for ExprLlm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nettag_expr::token::tokenize_expr;
     use nettag_expr::parse_expr;
+    use nettag_expr::token::tokenize_expr;
 
     fn setup() -> (Vocab, ExprLlm, NetTagConfig) {
         let vocab = Vocab::default();

@@ -135,8 +135,8 @@ impl RegressorHead {
         assert_eq!(features.len(), targets.len(), "one target per sample");
         assert!(!features.is_empty(), "cannot train on empty data");
         let mean = targets.iter().sum::<f32>() / targets.len() as f32;
-        let var = targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f32>()
-            / targets.len() as f32;
+        let var =
+            targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f32>() / targets.len() as f32;
         let std = var.sqrt().max(1e-6);
         let normed: Vec<f32> = targets.iter().map(|t| (t - mean) / std).collect();
         let model = match kind {
@@ -208,8 +208,8 @@ mod tests {
             let c = rng.gen_range(0..2usize);
             let center = if c == 0 { -1.0 } else { 1.0 };
             xs.push(vec![
-                center + rng.gen_range(-0.3..0.3),
-                -center + rng.gen_range(-0.3..0.3),
+                center + rng.gen_range(-0.3f32..0.3),
+                -center + rng.gen_range(-0.3f32..0.3),
             ]);
             ys.push(c);
         }
@@ -221,12 +221,8 @@ mod tests {
         let (xs, ys) = blobs(60, 1);
         let head = ClassifierHead::train(&xs, &ys, 2, &FinetuneConfig::default());
         let preds = head.predict(&xs);
-        let acc = preds
-            .iter()
-            .zip(ys.iter())
-            .filter(|(p, y)| p == y)
-            .count() as f64
-            / ys.len() as f64;
+        let acc =
+            preds.iter().zip(ys.iter()).filter(|(p, y)| p == y).count() as f64 / ys.len() as f64;
         assert!(acc > 0.95, "acc {acc}");
         assert_eq!(head.classes(), 2);
     }
@@ -252,7 +248,10 @@ mod tests {
     #[test]
     fn gbdt_regressor_fits_step_function() {
         let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0]).collect();
-        let ys: Vec<f32> = xs.iter().map(|x| if x[0] < 0.4 { 10.0 } else { 20.0 }).collect();
+        let ys: Vec<f32> = xs
+            .iter()
+            .map(|x| if x[0] < 0.4 { 10.0 } else { 20.0 })
+            .collect();
         let head = RegressorHead::train(&xs, &ys, RegressorKind::Gbdt, &FinetuneConfig::default());
         let preds = head.predict(&[vec![0.1], vec![0.9]]);
         assert!((preds[0] - 10.0).abs() < 1.5);

@@ -87,17 +87,23 @@ impl NetTag {
         let n = tag.len();
         let dim = self.config.embed_dim + 8;
         let mut out = Tensor::zeros(n, dim);
-        for i in 0..n {
-            if self.text_scale != 0.0 {
-                let toks = tag.node_tokens(&vocab, i, self.config.max_tokens, false);
-                let text = self.exprllm.encode(&toks);
-                for (c, v) in text.data.iter().enumerate() {
-                    out.data[i * dim + c] = v * self.text_scale;
+        // Frozen per-gate ExprLLM encoding dominates TAG preparation and
+        // is independent per node: each worker owns a contiguous block of
+        // output rows (ExprLLM inference builds thread-local graphs).
+        nettag_par::for_each_row_block_mut(&mut out.data, dim, |first_row, chunk| {
+            for (bi, row) in chunk.chunks_exact_mut(dim).enumerate() {
+                let i = first_row + bi;
+                if self.text_scale != 0.0 {
+                    let toks = tag.node_tokens(&vocab, i, self.config.max_tokens, false);
+                    let text = self.exprllm.encode(&toks);
+                    for (o, v) in row.iter_mut().zip(text.data.iter()) {
+                        *o = v * self.text_scale;
+                    }
                 }
+                let phys = tag.nodes[i].phys.feature_vector();
+                row[self.config.embed_dim..].copy_from_slice(&phys);
             }
-            let phys = tag.nodes[i].phys.feature_vector();
-            out.data[i * dim + self.config.embed_dim..(i + 1) * dim].copy_from_slice(&phys);
-        }
+        });
         out
     }
 
@@ -120,7 +126,12 @@ impl NetTag {
     ///
     /// `phys` optionally supplies sign-off physical attributes per gate id;
     /// otherwise synthesis estimates are used.
-    pub fn embed_circuit(&self, netlist: &Netlist, lib: &Library, phys: Option<&[PhysProps]>) -> Tensor {
+    pub fn embed_circuit(
+        &self,
+        netlist: &Netlist,
+        lib: &Library,
+        phys: Option<&[PhysProps]>,
+    ) -> Tensor {
         let opts = self.tag_options();
         if netlist.registers().is_empty() {
             let tag = match phys {
@@ -162,7 +173,12 @@ impl NetTag {
     }
 
     /// Embeds one register cone of a netlist (cone granularity).
-    pub fn embed_cone(&self, netlist: &Netlist, lib: &Library, cone: &nettag_netlist::Cone) -> Tensor {
+    pub fn embed_cone(
+        &self,
+        netlist: &Netlist,
+        lib: &Library,
+        cone: &nettag_netlist::Cone,
+    ) -> Tensor {
         let sub = cone_to_netlist(netlist, cone);
         let tag = Tag::from_netlist(&sub, lib, &self.tag_options());
         self.embed_tag(&tag).cls

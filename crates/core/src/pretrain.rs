@@ -177,16 +177,21 @@ pub fn freeze_cone_features(
     data: &PretrainData,
     rtl_vocab_: &Vocab,
 ) -> Vec<FrozenCone> {
-    data.cones
-        .iter()
-        .enumerate()
-        .map(|(index, c)| FrozenCone {
+    // ExprLLM is frozen here, so every cone's feature pass is pure
+    // inference — the heaviest stage of step-2 setup parallelizes over
+    // cones. Nested helpers run inline (crates/par serializes regions
+    // entered from worker threads), so the inner node_features fan-out
+    // does NOT add parallelism here; with few large cones the grain is
+    // the cone count.
+    nettag_par::map_indexed(data.cones.len(), |index| {
+        let c = &data.cones[index];
+        FrozenCone {
             features: model.node_features(&c.tag),
             aug_features: model.node_features(&c.aug_tag),
             rtl_tokens: tokenize_rtl(rtl_vocab_, &c.rtl_text, model.config.max_tokens),
             index,
-        })
-        .collect()
+        }
+    })
 }
 
 /// Step 2: TAGFormer fusion pre-training + cross-stage alignment (eq. 8).
@@ -261,10 +266,9 @@ pub fn pretrain_tagformer(
             // #2.2 positive: the augmented equivalent cone.
             if obj.graph_contrast {
                 let aug_feats = g.constant(fc.aug_features.clone());
-                let aug_out =
-                    model
-                        .tagformer
-                        .forward(&mut g, aug_feats, &cone.aug_tag.edges, &[]);
+                let aug_out = model
+                    .tagformer
+                    .forward(&mut g, aug_feats, &cone.aug_tag.edges, &[]);
                 aug_cls_rows.push(aug_out.cls);
             }
             // #3 cross-stage embeddings.
@@ -310,8 +314,10 @@ pub fn pretrain(
     data: &PretrainData,
     config: &PretrainConfig,
 ) -> PretrainReport {
-    let mut report = PretrainReport::default();
-    report.step1_losses = pretrain_exprllm(model, data, config);
+    let mut report = PretrainReport {
+        step1_losses: pretrain_exprllm(model, data, config),
+        ..PretrainReport::default()
+    };
     let rtl_voc = rtl_vocab();
     let mut heads = PretrainHeads::new(model.config.embed_dim, config.seed);
     let mut rtl_enc = RtlEncoder::new(&rtl_voc, &model.config);
@@ -386,7 +392,10 @@ mod tests {
         assert_eq!(report.step2_losses.len(), 12);
         let head = report.step2_losses[0];
         let tail = *report.step2_losses.last().expect("non-empty");
-        assert!(tail < head * 1.5, "loss should not explode: {head} -> {tail}");
+        assert!(
+            tail < head * 1.5,
+            "loss should not explode: {head} -> {tail}"
+        );
         assert!(report.step2_losses.iter().all(|l| l.is_finite()));
     }
 

@@ -187,7 +187,13 @@ impl Layer for TagFormer {
         p.push(&mut self.cls_seed);
         p.push(&mut self.mask_seed);
         for l in &mut self.layers {
-            for q in l.attn.wq.iter_mut().chain(l.attn.wk.iter_mut()).chain(l.attn.wv.iter_mut()) {
+            for q in l
+                .attn
+                .wq
+                .iter_mut()
+                .chain(l.attn.wk.iter_mut())
+                .chain(l.attn.wv.iter_mut())
+            {
                 p.extend(q.params_mut());
             }
             p.extend(l.attn.wo.params_mut());
@@ -270,7 +276,7 @@ mod tests {
         let adj = TagFormer::cls_adjacency(3, &[(0, 1)]);
         assert_eq!(adj.n, 4);
         // CLS row (index 3) reaches all nodes.
-        assert!(adj.rows[3].len() >= 3);
+        assert!(adj.row_len(3) >= 3);
     }
 
     #[test]

@@ -74,7 +74,9 @@ fn alignment_pulls_matching_stages_together() {
         .iter()
         .map(|c| layout_enc.encode(&c.layout, c.die).data.clone())
         .collect();
+    #[allow(clippy::needless_range_loop)]
     for i in 0..k {
+        #[allow(clippy::needless_range_loop)]
         for j in 0..k {
             let c = cosine(&embeddings[i], &layouts[j]);
             if i == j {
@@ -99,8 +101,7 @@ fn rtl_encoder_separates_cone_texts() {
     let regs = d.netlist.registers();
     assert!(regs.len() >= 2);
     let t1 = nettag_core::data::rtl_cone_text(&d.rtl, &d.netlist.gate(regs[0]).name);
-    let t2 =
-        nettag_core::data::rtl_cone_text(&d.rtl, &d.netlist.gate(regs[regs.len() - 1]).name);
+    let t2 = nettag_core::data::rtl_cone_text(&d.rtl, &d.netlist.gate(regs[regs.len() - 1]).name);
     let vocab = rtl_vocab();
     let enc = RtlEncoder::new(&vocab, &NetTagConfig::tiny());
     let e1 = enc.encode(&vocab, &t1);

@@ -60,6 +60,7 @@ impl Expr {
     }
 
     /// Creates a negation, without simplification.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Expr) -> Expr {
         Expr::Not(Box::new(e))
     }
@@ -206,9 +207,7 @@ impl Expr {
             Expr::And(es) => {
                 Expr::And(es.iter().map(|e| e.substitute(name, replacement)).collect())
             }
-            Expr::Or(es) => {
-                Expr::Or(es.iter().map(|e| e.substitute(name, replacement)).collect())
-            }
+            Expr::Or(es) => Expr::Or(es.iter().map(|e| e.substitute(name, replacement)).collect()),
             Expr::Xor(es) => {
                 Expr::Xor(es.iter().map(|e| e.substitute(name, replacement)).collect())
             }
@@ -299,10 +298,7 @@ mod tests {
 
     #[test]
     fn support_is_sorted_and_deduped() {
-        let e = Expr::or2(
-            Expr::and2(Expr::var("b"), Expr::var("a")),
-            Expr::var("b"),
-        );
+        let e = Expr::or2(Expr::and2(Expr::var("b"), Expr::var("a")), Expr::var("b"));
         let support = e.support();
         let s: Vec<&str> = support.iter().map(|v| v.as_ref()).collect();
         assert_eq!(s, vec!["a", "b"]);

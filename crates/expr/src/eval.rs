@@ -12,8 +12,8 @@
 use crate::ast::{Expr, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// Largest support size for which exact truth tables are built.
@@ -61,7 +61,9 @@ pub fn eval_positional(expr: &Expr, vars: &[Var], assignment: u64) -> bool {
             Expr::Not(e) => !go(e, vars, assignment),
             Expr::And(es) => es.iter().all(|e| go(e, vars, assignment)),
             Expr::Or(es) => es.iter().any(|e| go(e, vars, assignment)),
-            Expr::Xor(es) => es.iter().fold(false, |acc, e| acc ^ go(e, vars, assignment)),
+            Expr::Xor(es) => es
+                .iter()
+                .fold(false, |acc, e| acc ^ go(e, vars, assignment)),
             Expr::Ite(s, t, e) => {
                 if go(s, vars, assignment) {
                     go(t, vars, assignment)
@@ -235,7 +237,10 @@ mod tests {
 
     #[test]
     fn different_functions_are_not_equivalent() {
-        assert!(!equivalent(&Expr::and2(v("a"), v("b")), &Expr::or2(v("a"), v("b"))));
+        assert!(!equivalent(
+            &Expr::and2(v("a"), v("b")),
+            &Expr::or2(v("a"), v("b"))
+        ));
     }
 
     #[test]

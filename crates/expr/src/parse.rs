@@ -254,10 +254,7 @@ mod tests {
         let e = parse_expr("a | b & c").expect("parses");
         assert_eq!(
             e,
-            Expr::or2(
-                Expr::var("a"),
-                Expr::and2(Expr::var("b"), Expr::var("c"))
-            )
+            Expr::or2(Expr::var("a"), Expr::and2(Expr::var("b"), Expr::var("c")))
         );
     }
 

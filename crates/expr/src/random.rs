@@ -23,7 +23,9 @@ pub struct RandomExprConfig {
 impl Default for RandomExprConfig {
     fn default() -> Self {
         RandomExprConfig {
-            vars: (0..8).map(|i| Var::from(format!("n{i}").as_str())).collect(),
+            vars: (0..8)
+                .map(|i| Var::from(format!("n{i}").as_str()))
+                .collect(),
             max_depth: 5,
             leaf_bias: 0.25,
             const_prob: 0.05,

@@ -70,13 +70,19 @@ pub fn apply_rule(expr: &Expr, rule: Rule, rng: &mut StdRng) -> Option<Expr> {
 
 fn eligible(expr: &Expr, rule: Rule) -> bool {
     match rule {
-        Rule::DeMorgan => matches!(expr, Expr::Not(inner) if matches!(**inner, Expr::And(_) | Expr::Or(_))),
+        Rule::DeMorgan => {
+            matches!(expr, Expr::Not(inner) if matches!(**inner, Expr::And(_) | Expr::Or(_)))
+        }
         Rule::DoubleNegationIntro => true,
         Rule::DoubleNegationElim => {
             matches!(expr, Expr::Not(inner) if matches!(**inner, Expr::Not(_)))
         }
-        Rule::Commute => matches!(expr, Expr::And(es) | Expr::Or(es) | Expr::Xor(es) if es.len() >= 2),
-        Rule::Associate => matches!(expr, Expr::And(es) | Expr::Or(es) | Expr::Xor(es) if es.len() >= 3),
+        Rule::Commute => {
+            matches!(expr, Expr::And(es) | Expr::Or(es) | Expr::Xor(es) if es.len() >= 2)
+        }
+        Rule::Associate => {
+            matches!(expr, Expr::And(es) | Expr::Or(es) | Expr::Xor(es) if es.len() >= 3)
+        }
         Rule::Distribute => match expr {
             Expr::And(es) => es.iter().any(|e| matches!(e, Expr::Or(_))),
             Expr::Or(es) => es.iter().any(|e| matches!(e, Expr::And(_))),
@@ -113,7 +119,9 @@ fn common_factor(es: &[Expr], or_of_ands: bool) -> Option<(Expr, Vec<usize>)> {
         }
     };
     for (i, ei) in es.iter().enumerate() {
-        let Some(inner_i) = operands(ei) else { continue };
+        let Some(inner_i) = operands(ei) else {
+            continue;
+        };
         for candidate in &inner_i {
             let mut holders = vec![i];
             for (j, ej) in es.iter().enumerate().skip(i + 1) {
@@ -131,13 +139,7 @@ fn common_factor(es: &[Expr], or_of_ands: bool) -> Option<(Expr, Vec<usize>)> {
     None
 }
 
-fn rewrite_at(
-    expr: &Expr,
-    rule: Rule,
-    target: usize,
-    seen: &mut usize,
-    rng: &mut StdRng,
-) -> Expr {
+fn rewrite_at(expr: &Expr, rule: Rule, target: usize, seen: &mut usize, rng: &mut StdRng) -> Expr {
     if eligible(expr, rule) {
         if *seen == target {
             *seen += 1;
@@ -419,7 +421,10 @@ mod tests {
         for rule in ALL_RULES {
             let mut r = rng(42);
             if let Some(out) = apply_rule(&e, rule, &mut r) {
-                assert!(equivalent(&e, &out), "rule {rule:?} broke equivalence: {out}");
+                assert!(
+                    equivalent(&e, &out),
+                    "rule {rule:?} broke equivalence: {out}"
+                );
             }
         }
     }

@@ -17,8 +17,8 @@
 //! magnitudes.
 
 use crate::ast::Expr;
-use std::collections::HashMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// A token id into a [`Vocab`].
@@ -146,7 +146,7 @@ impl Vocab {
     /// Quantized id for a physical value: log-scaled into [`NUM_BUCKETS`]
     /// buckets over roughly `[1e-4, 1e4]`.
     pub fn number(&self, value: f64) -> TokenId {
-        let v = value.abs().max(1e-4).min(1e4);
+        let v = value.abs().clamp(1e-4, 1e4);
         let t = (v.log10() + 4.0) / 8.0; // 0..1
         let bucket = ((t * f64::from(NUM_BUCKETS - 1)).round() as u32).min(NUM_BUCKETS - 1);
         self.num_base + bucket

@@ -269,25 +269,44 @@ pub fn aig_to_netlist(aig: &Aig, name: &str) -> (Netlist, Vec<u32>) {
     let mut pos: HashMap<u32, GateId> = HashMap::new();
     // Cached inverters per variable.
     let mut neg: HashMap<u32, GateId> = HashMap::new();
-    let add = |n: &mut Netlist, vars: &mut Vec<u32>, name: String, kind: CellKind, fanin: Vec<GateId>, var: u32| {
+    let add = |n: &mut Netlist,
+               vars: &mut Vec<u32>,
+               name: String,
+               kind: CellKind,
+               fanin: Vec<GateId>,
+               var: u32| {
         let id = n.add_gate(name, kind, fanin);
         vars.push(var);
         id
     };
     // Constant false is variable 0.
-    let zero = add(&mut n, &mut vars, "const0".into(), CellKind::Const0, vec![], 0);
+    let zero = add(
+        &mut n,
+        &mut vars,
+        "const0".into(),
+        CellKind::Const0,
+        vec![],
+        0,
+    );
     pos.insert(0, zero);
     for (i, input) in aig.inputs.iter().enumerate() {
         let var = i as u32 + 1;
-        let id = add(&mut n, &mut vars, input.clone(), CellKind::Input, vec![], var);
+        let id = add(
+            &mut n,
+            &mut vars,
+            input.clone(),
+            CellKind::Input,
+            vec![],
+            var,
+        );
         pos.insert(var, id);
     }
     let first_and = aig.inputs.len() as u32 + 1;
     let lit_gate = |n: &mut Netlist,
-                        vars: &mut Vec<u32>,
-                        pos: &HashMap<u32, GateId>,
-                        neg: &mut HashMap<u32, GateId>,
-                        l: Lit|
+                    vars: &mut Vec<u32>,
+                    pos: &HashMap<u32, GateId>,
+                    neg: &mut HashMap<u32, GateId>,
+                    l: Lit|
      -> GateId {
         let v = lit_var(l);
         let p = pos[&v];
@@ -320,9 +339,7 @@ pub fn aig_to_netlist(aig: &Aig, name: &str) -> (Netlist, Vec<u32>) {
 }
 
 fn fold_and(aig: &mut Aig, ins: &[Lit]) -> Lit {
-    ins.iter()
-        .skip(1)
-        .fold(ins[0], |acc, &l| aig.and(acc, l))
+    ins.iter().skip(1).fold(ins[0], |acc, &l| aig.and(acc, l))
 }
 
 fn fold_or(aig: &mut Aig, ins: &[Lit]) -> Lit {

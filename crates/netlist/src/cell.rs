@@ -226,10 +226,7 @@ impl CellKind {
             // AOI21: !((a & b) | c)
             CellKind::Aoi21 => Expr::not(Expr::or2(Expr::and2(i(0), i(1)), i(2))),
             // AOI22: !((a & b) | (c & d))
-            CellKind::Aoi22 => Expr::not(Expr::or2(
-                Expr::and2(i(0), i(1)),
-                Expr::and2(i(2), i(3)),
-            )),
+            CellKind::Aoi22 => Expr::not(Expr::or2(Expr::and2(i(0), i(1)), Expr::and2(i(2), i(3)))),
             // OAI21: !((a | b) & c)
             CellKind::Oai21 => Expr::not(Expr::and2(Expr::or2(i(0), i(1)), i(2))),
             // OAI22: !((a | b) & (c | d))
@@ -290,14 +287,15 @@ pub struct Library {
 impl Library {
     /// The default NanGate-45-like library used across the reproduction.
     pub fn nangate45_like() -> Library {
-        let p = |area, leakage, input_cap, intrinsic_delay, drive_res, internal_energy| CellParams {
-            area,
-            leakage,
-            input_cap,
-            intrinsic_delay,
-            drive_res,
-            internal_energy,
-        };
+        let p =
+            |area, leakage, input_cap, intrinsic_delay, drive_res, internal_energy| CellParams {
+                area,
+                leakage,
+                input_cap,
+                intrinsic_delay,
+                drive_res,
+                internal_energy,
+            };
         let zero = p(0.0, 0.0, 0.5, 0.0, 0.1, 0.0);
         let mut params = vec![zero; ALL_CELL_KINDS.len()];
         let mut set = |k: CellKind, v: CellParams| params[k.index()] = v;

@@ -73,28 +73,25 @@ pub fn register_cone(netlist: &Netlist, reg: GateId) -> Cone {
 /// primary output instead, so downstream code can treat both uniformly.
 pub fn chunk_into_cones(netlist: &Netlist) -> Vec<Cone> {
     let regs = netlist.registers();
+    // Each cone's backtrace only reads the netlist, so the per-register
+    // (or per-output) sweep parallelizes across worker threads.
     if regs.is_empty() {
-        return netlist
-            .outputs()
-            .into_iter()
-            .map(|out| {
-                let gates = backward_cone(netlist, out);
-                let frontier = gates
-                    .iter()
-                    .copied()
-                    .filter(|&g| netlist.gate(g).kind == CellKind::Input)
-                    .collect();
-                Cone {
-                    root: out,
-                    gates,
-                    frontier,
-                }
-            })
-            .collect();
+        let outs = netlist.outputs();
+        return nettag_par::map_slice(&outs, |&out| {
+            let gates = backward_cone(netlist, out);
+            let frontier = gates
+                .iter()
+                .copied()
+                .filter(|&g| netlist.gate(g).kind == CellKind::Input)
+                .collect();
+            Cone {
+                root: out,
+                gates,
+                frontier,
+            }
+        });
     }
-    regs.into_iter()
-        .map(|r| register_cone(netlist, r))
-        .collect()
+    nettag_par::map_slice(&regs, |&r| register_cone(netlist, r))
 }
 
 /// Materializes a cone as a standalone combinational netlist: frontier
@@ -135,9 +132,14 @@ pub fn cone_to_netlist(netlist: &Netlist, cone: &Cone) -> Netlist {
         None => None,
     };
     if let Some(driver) = driver {
-        out.add_gate(format!("{}_next", root_gate.name), CellKind::Output, vec![driver]);
+        out.add_gate(
+            format!("{}_next", root_gate.name),
+            CellKind::Output,
+            vec![driver],
+        );
     }
-    out.validate().expect("cone extraction preserves acyclicity")
+    out.validate()
+        .expect("cone extraction preserves acyclicity")
 }
 
 #[cfg(test)]
@@ -190,7 +192,10 @@ mod tests {
         let r2 = n.find("R2").expect("exists");
         let cone = register_cone(&n, r2);
         let sub = cone_to_netlist(&n, &cone);
-        assert!(sub.registers().is_empty(), "cone netlists are combinational");
+        assert!(
+            sub.registers().is_empty(),
+            "cone netlists are combinational"
+        );
         // Frontier registers became inputs named like the originals.
         assert!(sub.find("R1").is_some());
         let r1_in = sub.find("R1").expect("exists");

@@ -94,11 +94,14 @@ fn local_expr(
 /// Extracts `name = expr` assignment strings for every mapped combinational
 /// gate, the raw material of the paper's 313k-expression dataset.
 pub fn all_gate_exprs(netlist: &Netlist, k: usize) -> Vec<(GateId, Expr)> {
-    netlist
+    let targets: Vec<GateId> = netlist
         .iter()
         .filter(|(_, g)| g.kind.is_combinational())
-        .map(|(id, _)| (id, gate_expr(netlist, id, k)))
-        .collect()
+        .map(|(id, _)| id)
+        .collect();
+    // Per-gate extraction is independent (each call owns its memo table),
+    // so the corpus-building sweep parallelizes over gates.
+    nettag_par::map_slice(&targets, |&id| (id, gate_expr(netlist, id, k)))
 }
 
 /// Renders the paper-style assignment text `U3 = !((R1 ^ R2) | !R2)`.

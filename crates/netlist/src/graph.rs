@@ -130,7 +130,12 @@ impl Netlist {
 
     /// Adds a gate and returns its id. Fan-out tables are rebuilt lazily by
     /// [`Netlist::validate`] / [`Netlist::rebuild_fanout`].
-    pub fn add_gate(&mut self, name: impl Into<String>, kind: CellKind, fanin: Vec<GateId>) -> GateId {
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        fanin: Vec<GateId>,
+    ) -> GateId {
         let id = GateId(self.gates.len() as u32);
         self.gates.push(Gate {
             name: name.into(),
@@ -293,9 +298,7 @@ impl Netlist {
     /// Looks up a gate id by instance name (linear scan; fine for tests and
     /// tooling, hot paths should hold ids).
     pub fn find(&self, name: &str) -> Option<GateId> {
-        self.iter()
-            .find(|(_, g)| g.name == name)
-            .map(|(id, _)| id)
+        self.iter().find(|(_, g)| g.name == name).map(|(id, _)| id)
     }
 }
 

@@ -245,9 +245,7 @@ pub fn synthesis_phys_estimates(netlist: &Netlist, lib: &crate::cell::Library) -
             CellKind::Output | CellKind::Buf => prob[g.fanin[0].index()],
             k if k.is_sequential() => 0.5,
             k => {
-                let ins: Vec<Expr> = (0..k.arity())
-                    .map(|j| Expr::var(format!("p{j}")))
-                    .collect();
+                let ins: Vec<Expr> = (0..k.arity()).map(|j| Expr::var(format!("p{j}"))).collect();
                 let e = k.expr(&ins);
                 // Weighted truth-table evaluation with per-input probability.
                 let support = e.support();
@@ -349,7 +347,10 @@ mod tests {
         let u3 = n.find("U3").expect("exists").index();
         let toks = tag.node_tokens(&vocab, u3, 96, false);
         assert_eq!(toks[0], vocab.special(Special::Cls));
-        assert_eq!(*toks.last().expect("non-empty"), vocab.special(Special::Eos));
+        assert_eq!(
+            *toks.last().expect("non-empty"),
+            vocab.special(Special::Eos)
+        );
         assert!(toks.contains(&vocab.word("NOR2")));
         let masked = tag.node_tokens(&vocab, u3, 96, true);
         assert!(!masked.contains(&vocab.word("NOR2")));

@@ -46,12 +46,7 @@ pub fn levels(netlist: &Netlist) -> Vec<usize> {
         if g.kind.is_sequential() || g.kind == CellKind::Input || g.fanin.is_empty() {
             level[id.index()] = 0;
         } else {
-            level[id.index()] = 1 + g
-                .fanin
-                .iter()
-                .map(|f| level[f.index()])
-                .max()
-                .unwrap_or(0);
+            level[id.index()] = 1 + g.fanin.iter().map(|f| level[f.index()]).max().unwrap_or(0);
         }
     }
     level

@@ -22,7 +22,11 @@ pub struct ParseVerilogError {
 
 impl fmt::Display for ParseVerilogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verilog parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "verilog parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -36,14 +40,17 @@ pub fn write_verilog(netlist: &Netlist) -> String {
     let mut s = String::new();
     let inputs = netlist.inputs();
     let outputs = netlist.outputs();
-    let port =
-        |id: GateId| -> &str { netlist.gate(id).name.as_str() };
+    let port = |id: GateId| -> &str { netlist.gate(id).name.as_str() };
     let ports: Vec<&str> = inputs
         .iter()
         .chain(outputs.iter())
         .map(|&id| port(id))
         .collect();
-    s.push_str(&format!("module {} ({});\n", netlist.name(), ports.join(", ")));
+    s.push_str(&format!(
+        "module {} ({});\n",
+        netlist.name(),
+        ports.join(", ")
+    ));
     for &i in &inputs {
         s.push_str(&format!("  input {};\n", port(i)));
     }
@@ -69,7 +76,12 @@ pub fn write_verilog(netlist: &Netlist) -> String {
                 let pins: Vec<&str> = std::iter::once(g.name.as_str())
                     .chain(g.fanin.iter().map(|&f| netlist.gate(f).name.as_str()))
                     .collect();
-                s.push_str(&format!("  {} i_{} ({});\n", kind.name(), g.name, pins.join(", ")));
+                s.push_str(&format!(
+                    "  {} i_{} ({});\n",
+                    kind.name(),
+                    g.name,
+                    pins.join(", ")
+                ));
             }
         }
     }
@@ -95,7 +107,13 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
     let mut insts: Vec<(CellKind, String, Vec<String>, usize)> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
-        let stmt = raw.split("//").next().unwrap_or("").trim().trim_end_matches(';').trim();
+        let stmt = raw
+            .split("//")
+            .next()
+            .unwrap_or("")
+            .trim()
+            .trim_end_matches(';')
+            .trim();
         if stmt.is_empty() || stmt == "endmodule" {
             continue;
         }
@@ -118,8 +136,12 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
             assigns.push((lhs.trim().to_string(), rhs.trim().to_string(), line));
         } else {
             // CELL instname (out, in...);
-            let open = stmt.find('(').ok_or_else(|| err(line, "expected instance pins"))?;
-            let close = stmt.rfind(')').ok_or_else(|| err(line, "unclosed pin list"))?;
+            let open = stmt
+                .find('(')
+                .ok_or_else(|| err(line, "expected instance pins"))?;
+            let close = stmt
+                .rfind(')')
+                .ok_or_else(|| err(line, "unclosed pin list"))?;
             let head: Vec<&str> = stmt[..open].split_whitespace().collect();
             if head.len() != 2 {
                 return Err(err(line, "expected 'CELL instance (pins)'"));

@@ -108,13 +108,7 @@ impl GbdtRegressor {
 
     /// Predicts one sample.
     pub fn predict(&self, x: &[f32]) -> f32 {
-        self.base
-            + self.shrinkage
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(x))
-                    .sum::<f32>()
+        self.base + self.shrinkage * self.trees.iter().map(|t| t.predict(x)).sum::<f32>()
     }
 
     /// Predicts a batch.
@@ -137,6 +131,7 @@ fn build_tree(
     let n_features = features[0].len();
     let parent_sse = sse(residuals, idx, mean);
     let mut best: Option<(usize, f32, f32)> = None; // (feature, threshold, gain)
+    #[allow(clippy::needless_range_loop)]
     for f in 0..n_features {
         let mut vals: Vec<f32> = idx.iter().map(|&i| features[i][f]).collect();
         vals.sort_by(f32::total_cmp);
@@ -179,16 +174,29 @@ fn build_tree(
     let Some((feature, threshold, _)) = best else {
         return TreeNode::Leaf(mean);
     };
-    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-        idx.iter().partition(|&&i| features[i][feature] <= threshold);
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+        .iter()
+        .partition(|&&i| features[i][feature] <= threshold);
     if left_idx.is_empty() || right_idx.is_empty() {
         return TreeNode::Leaf(mean);
     }
     TreeNode::Split {
         feature,
         threshold,
-        left: Box::new(build_tree(features, residuals, &left_idx, depth - 1, config)),
-        right: Box::new(build_tree(features, residuals, &right_idx, depth - 1, config)),
+        left: Box::new(build_tree(
+            features,
+            residuals,
+            &left_idx,
+            depth - 1,
+            config,
+        )),
+        right: Box::new(build_tree(
+            features,
+            residuals,
+            &right_idx,
+            depth - 1,
+            config,
+        )),
     }
 }
 

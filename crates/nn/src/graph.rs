@@ -4,8 +4,21 @@
 //! state to replay its adjoint; [`Graph::backward`] walks the tape in
 //! reverse, accumulating gradients. Parameters are leaves tagged with a
 //! key so optimizers can collect their gradients after the pass.
+//!
+//! ## Backward-pass memory discipline
+//!
+//! The backward pass allocates no per-op adjoint temporaries: every op
+//! accumulates directly into its inputs' gradient buffers (dense products
+//! via the `*_into` accumulate kernels in [`crate::tensor`], elementwise
+//! ops via fused loops). Adjoint buffers themselves are allocated lazily
+//! — only nodes actually reachable from the loss get one — and the rare
+//! op that needs true scratch (the fused linear+ReLU, for its masked
+//! upstream gradient) borrows a buffer from a small [`Workspace`] pool
+//! that recycles across ops and across repeated `backward` calls on the
+//! same graph.
 
 use crate::tensor::{SparseMatrix, Tensor};
+use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Index of a node in the tape.
@@ -20,6 +33,14 @@ enum Op {
     MatMul(NodeId, NodeId),
     MatMulBt(NodeId, NodeId),
     SpMm(Rc<SparseMatrix>, NodeId),
+    /// Fused `x @ w + b` (+ ReLU when `relu`), one tape node instead of
+    /// three; the kernel reuses B panels across the row block.
+    Linear {
+        x: NodeId,
+        w: NodeId,
+        b: NodeId,
+        relu: bool,
+    },
     Add(NodeId, NodeId),
     AddRow(NodeId, NodeId),
     Mul(NodeId, NodeId),
@@ -62,10 +83,43 @@ struct Node {
     param_key: Option<usize>,
 }
 
+/// A recycling pool of flat f32 buffers for backward-pass scratch.
+#[derive(Default)]
+struct Workspace {
+    free: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// Borrows a buffer of exactly `len` zeroed-or-overwritten slots (the
+    /// caller must fully overwrite it before reading).
+    fn take(&mut self, len: usize) -> Vec<f32> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(len);
+                buf
+            }
+            None => Vec::with_capacity(len),
+        }
+    }
+
+    fn give(&mut self, buf: Vec<f32>) {
+        if self.free.len() < 8 {
+            self.free.push(buf);
+        }
+    }
+}
+
 /// The autograd tape.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    scratch: RefCell<Workspace>,
+}
+
+/// Lazily materializes the adjoint buffer for a node.
+fn ensure(slot: &mut Option<Tensor>, rows: usize, cols: usize) -> &mut Tensor {
+    slot.get_or_insert_with(|| Tensor::zeros(rows, cols))
 }
 
 impl Graph {
@@ -118,6 +172,43 @@ impl Graph {
         self.push(v, Op::SpMm(adj, x))
     }
 
+    /// Fused affine map `x @ w + b` (`b` is 1×n, broadcast over rows):
+    /// one tape node, one kernel pass.
+    pub fn linear(&mut self, x: NodeId, w: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[x]
+            .value
+            .matmul_bias(&self.nodes[w].value, &self.nodes[b].value);
+        self.push(
+            v,
+            Op::Linear {
+                x,
+                w,
+                b,
+                relu: false,
+            },
+        )
+    }
+
+    /// Fused `relu(x @ w + b)`; the activation is applied in the same
+    /// output buffer the product landed in.
+    pub fn linear_relu(&mut self, x: NodeId, w: NodeId, b: NodeId) -> NodeId {
+        let mut v = self.nodes[x]
+            .value
+            .matmul_bias(&self.nodes[w].value, &self.nodes[b].value);
+        for o in v.data.iter_mut() {
+            *o = o.max(0.0);
+        }
+        self.push(
+            v,
+            Op::Linear {
+                x,
+                w,
+                b,
+                relu: true,
+            },
+        )
+    }
+
     /// Elementwise sum.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let v = self.nodes[a].value.zip(&self.nodes[b].value, |x, y| x + y);
@@ -131,8 +222,9 @@ impl Graph {
         assert_eq!(av.cols, rv.cols, "add_row width");
         let mut v = av.clone();
         for r in 0..v.rows {
-            for c in 0..v.cols {
-                *v.at_mut(r, c) += rv.at(0, c);
+            let out_row = &mut v.data[r * v.cols..(r + 1) * v.cols];
+            for (o, &b) in out_row.iter_mut().zip(rv.data.iter()) {
+                *o += b;
             }
         }
         self.push(v, Op::AddRow(a, row))
@@ -207,6 +299,7 @@ impl Graph {
         let mut xhat = Tensor::zeros(xv.rows, xv.cols);
         let mut inv_std = vec![0.0f32; xv.rows];
         let mut out = Tensor::zeros(xv.rows, xv.cols);
+        #[allow(clippy::needless_range_loop)]
         for r in 0..xv.rows {
             let row = xv.row_slice(r);
             let mean = row.iter().sum::<f32>() / xv.cols as f32;
@@ -290,8 +383,15 @@ impl Graph {
         let xv = &self.nodes[x].value;
         let mut norms = vec![0.0f32; xv.rows];
         let mut v = xv.clone();
+        #[allow(clippy::needless_range_loop)]
         for r in 0..xv.rows {
-            let n = xv.row_slice(r).iter().map(|a| a * a).sum::<f32>().sqrt().max(1e-9);
+            let n = xv
+                .row_slice(r)
+                .iter()
+                .map(|a| a * a)
+                .sum::<f32>()
+                .sqrt()
+                .max(1e-9);
             norms[r] = n;
             for c in 0..xv.cols {
                 *v.at_mut(r, c) /= n;
@@ -347,212 +447,371 @@ impl Graph {
 
     /// Runs the backward pass from a scalar loss node; returns per-node
     /// gradients (use [`Graph::param_grads`] to collect parameter grads).
+    /// Nodes unreachable from the loss report zero gradients.
     pub fn backward(&self, loss: NodeId) -> Vec<Tensor> {
-        let mut grads: Vec<Tensor> = self
-            .nodes
-            .iter()
-            .map(|n| Tensor::zeros(n.value.rows, n.value.cols))
-            .collect();
-        grads[loss] = Tensor::scalar(1.0);
+        let mut grads: Vec<Option<Tensor>> = self.nodes.iter().map(|_| None).collect();
+        grads[loss] = Some(Tensor::scalar(1.0));
         for id in (0..self.nodes.len()).rev() {
-            if grads[id].data.iter().all(|&g| g == 0.0) {
+            if grads[id].is_none() {
                 continue;
             }
-            let g_out = grads[id].clone();
-            match &self.nodes[id].op {
-                Op::Leaf => {}
-                Op::MatMul(a, b) => {
-                    let da = g_out.matmul_bt(&self.nodes[*b].value);
-                    let db = self.nodes[*a].value.matmul_at(&g_out);
-                    grads[*a].add_assign(&da);
-                    grads[*b].add_assign(&db);
+            // Inputs always precede their consumer on the tape, so the
+            // split hands out `g_out` (at `id`) read-only while input
+            // adjoints (all `< id`) stay writable.
+            let (inputs, tail) = grads.split_at_mut(id);
+            let g_out = tail[0].as_ref().expect("checked above");
+            self.accumulate_op(id, g_out, inputs);
+        }
+        grads
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| {
+                g.unwrap_or_else(|| {
+                    let v = &self.nodes[i].value;
+                    Tensor::zeros(v.rows, v.cols)
+                })
+            })
+            .collect()
+    }
+
+    /// Propagates one node's adjoint into its inputs, accumulating in
+    /// place (no adjoint temporaries are allocated).
+    fn accumulate_op(&self, id: NodeId, g_out: &Tensor, inputs: &mut [Option<Tensor>]) {
+        let shape = |n: NodeId| {
+            let v = &self.nodes[n].value;
+            (v.rows, v.cols)
+        };
+        match &self.nodes[id].op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let (av, bv) = (&self.nodes[*a].value, &self.nodes[*b].value);
+                {
+                    let (r, c) = shape(*a);
+                    g_out.matmul_bt_into(bv, ensure(&mut inputs[*a], r, c), true);
                 }
-                Op::MatMulBt(a, b) => {
-                    let da = g_out.matmul(&self.nodes[*b].value);
-                    let db = g_out.matmul_at(&self.nodes[*a].value);
-                    grads[*a].add_assign(&da);
-                    grads[*b].add_assign(&db);
+                {
+                    let (r, c) = shape(*b);
+                    av.matmul_at_into(g_out, ensure(&mut inputs[*b], r, c), true);
                 }
-                Op::SpMm(adj, x) => {
-                    let dx = adj.matmul_t(&g_out);
-                    grads[*x].add_assign(&dx);
+            }
+            Op::MatMulBt(a, b) => {
+                let (av, bv) = (&self.nodes[*a].value, &self.nodes[*b].value);
+                {
+                    let (r, c) = shape(*a);
+                    g_out.matmul_into(bv, ensure(&mut inputs[*a], r, c), true);
                 }
-                Op::Add(a, b) => {
-                    grads[*a].add_assign(&g_out);
-                    grads[*b].add_assign(&g_out);
+                {
+                    let (r, c) = shape(*b);
+                    g_out.matmul_at_into(av, ensure(&mut inputs[*b], r, c), true);
                 }
-                Op::AddRow(a, row) => {
-                    grads[*a].add_assign(&g_out);
-                    let mut dr = Tensor::zeros(1, g_out.cols);
+            }
+            Op::SpMm(adj, x) => {
+                let (r, c) = shape(*x);
+                adj.matmul_t_into(g_out, ensure(&mut inputs[*x], r, c), true);
+            }
+            Op::Linear { x, w, b, relu } => {
+                let (xv, wv) = (&self.nodes[*x].value, &self.nodes[*w].value);
+                // Upstream gradient w.r.t. the pre-bias product; with the
+                // fused ReLU the mask comes from the output's sign, using
+                // a workspace buffer rather than a fresh tensor.
+                let mut scratch = None;
+                let gpre: &Tensor = if *relu {
+                    let y = &self.nodes[id].value;
+                    let mut buf = self.scratch.borrow_mut().take(g_out.data.len());
+                    buf.extend(g_out.data.iter().zip(y.data.iter()).map(|(&g, &yv)| {
+                        if yv > 0.0 {
+                            g
+                        } else {
+                            0.0
+                        }
+                    }));
+                    scratch = Some(Tensor::from_vec(g_out.rows, g_out.cols, buf));
+                    scratch.as_ref().expect("just set")
+                } else {
+                    g_out
+                };
+                {
+                    let (r, c) = shape(*x);
+                    gpre.matmul_bt_into(wv, ensure(&mut inputs[*x], r, c), true);
+                }
+                {
+                    let (r, c) = shape(*w);
+                    xv.matmul_at_into(gpre, ensure(&mut inputs[*w], r, c), true);
+                }
+                {
+                    let (r, c) = shape(*b);
+                    let gb = ensure(&mut inputs[*b], r, c);
+                    for row in gpre.data.chunks_exact(gpre.cols) {
+                        for (o, &g) in gb.data.iter_mut().zip(row.iter()) {
+                            *o += g;
+                        }
+                    }
+                }
+                if let Some(t) = scratch {
+                    self.scratch.borrow_mut().give(t.data);
+                }
+            }
+            Op::Add(a, b) => {
+                for &n in [a, b] {
+                    let (r, c) = shape(n);
+                    ensure(&mut inputs[n], r, c).add_assign(g_out);
+                }
+            }
+            Op::AddRow(a, row) => {
+                {
+                    let (r, c) = shape(*a);
+                    ensure(&mut inputs[*a], r, c).add_assign(g_out);
+                }
+                let (r, c) = shape(*row);
+                let gr = ensure(&mut inputs[*row], r, c);
+                for grow in g_out.data.chunks_exact(g_out.cols) {
+                    for (o, &g) in gr.data.iter_mut().zip(grow.iter()) {
+                        *o += g;
+                    }
+                }
+            }
+            Op::Mul(a, b) => {
+                {
+                    let bv = &self.nodes[*b].value;
+                    let (r, c) = shape(*a);
+                    let ga = ensure(&mut inputs[*a], r, c);
+                    for ((o, &g), &y) in ga
+                        .data
+                        .iter_mut()
+                        .zip(g_out.data.iter())
+                        .zip(bv.data.iter())
+                    {
+                        *o += g * y;
+                    }
+                }
+                {
+                    let av = &self.nodes[*a].value;
+                    let (r, c) = shape(*b);
+                    let gb = ensure(&mut inputs[*b], r, c);
+                    for ((o, &g), &x) in gb
+                        .data
+                        .iter_mut()
+                        .zip(g_out.data.iter())
+                        .zip(av.data.iter())
+                    {
+                        *o += g * x;
+                    }
+                }
+            }
+            Op::Scale(a, cst) => {
+                let (r, c) = shape(*a);
+                let ga = ensure(&mut inputs[*a], r, c);
+                for (o, &g) in ga.data.iter_mut().zip(g_out.data.iter()) {
+                    *o += g * cst;
+                }
+            }
+            Op::Relu(a) => {
+                let av = &self.nodes[*a].value;
+                let (r, c) = shape(*a);
+                let ga = ensure(&mut inputs[*a], r, c);
+                for ((o, &g), &x) in ga
+                    .data
+                    .iter_mut()
+                    .zip(g_out.data.iter())
+                    .zip(av.data.iter())
+                {
+                    *o += if x > 0.0 { g } else { 0.0 };
+                }
+            }
+            Op::Gelu(a) => {
+                let av = &self.nodes[*a].value;
+                let (r, c) = shape(*a);
+                let ga = ensure(&mut inputs[*a], r, c);
+                for ((o, &g), &x) in ga
+                    .data
+                    .iter_mut()
+                    .zip(g_out.data.iter())
+                    .zip(av.data.iter())
+                {
+                    *o += g * gelu_grad(x);
+                }
+            }
+            Op::Tanh(a) => {
+                let yv = &self.nodes[id].value;
+                let (r, c) = shape(*a);
+                let ga = ensure(&mut inputs[*a], r, c);
+                for ((o, &g), &y) in ga
+                    .data
+                    .iter_mut()
+                    .zip(g_out.data.iter())
+                    .zip(yv.data.iter())
+                {
+                    *o += g * (1.0 - y * y);
+                }
+            }
+            Op::ConcatCols(parts) => {
+                let mut off = 0;
+                for &p in parts {
+                    let (rows, cols) = shape(p);
+                    let gp = ensure(&mut inputs[p], rows, cols);
                     for r in 0..g_out.rows {
+                        let src = &g_out.data[r * g_out.cols + off..r * g_out.cols + off + cols];
+                        for (o, &g) in gp.data[r * cols..(r + 1) * cols].iter_mut().zip(src.iter())
+                        {
+                            *o += g;
+                        }
+                    }
+                    off += cols;
+                }
+            }
+            Op::GatherRows(table, ids) => {
+                let cols = g_out.cols;
+                let (r, c) = shape(*table);
+                let gt = ensure(&mut inputs[*table], r, c);
+                for (row, &rid) in ids.iter().enumerate() {
+                    let dst = &mut gt.data[rid as usize * cols..(rid as usize + 1) * cols];
+                    let src = &g_out.data[row * cols..(row + 1) * cols];
+                    for (o, &g) in dst.iter_mut().zip(src.iter()) {
+                        *o += g;
+                    }
+                }
+            }
+            Op::LayerNorm {
+                x,
+                gain,
+                bias,
+                xhat,
+                inv_std,
+            } => {
+                let gv = &self.nodes[*gain].value;
+                let cols = g_out.cols as f32;
+                {
+                    let (r, c) = shape(*gain);
+                    let dgain = ensure(&mut inputs[*gain], r, c);
+                    for row in 0..g_out.rows {
                         for c in 0..g_out.cols {
-                            dr.data[c] += g_out.at(r, c);
+                            dgain.data[c] += g_out.at(row, c) * xhat.at(row, c);
                         }
                     }
-                    grads[*row].add_assign(&dr);
                 }
-                Op::Mul(a, b) => {
-                    let da = g_out.zip(&self.nodes[*b].value, |g, y| g * y);
-                    let db = g_out.zip(&self.nodes[*a].value, |g, x| g * x);
-                    grads[*a].add_assign(&da);
-                    grads[*b].add_assign(&db);
-                }
-                Op::Scale(a, c) => {
-                    let da = g_out.map(|g| g * c);
-                    grads[*a].add_assign(&da);
-                }
-                Op::Relu(a) => {
-                    let da = g_out.zip(&self.nodes[*a].value, |g, x| if x > 0.0 { g } else { 0.0 });
-                    grads[*a].add_assign(&da);
-                }
-                Op::Gelu(a) => {
-                    let da = g_out.zip(&self.nodes[*a].value, |g, x| g * gelu_grad(x));
-                    grads[*a].add_assign(&da);
-                }
-                Op::Tanh(a) => {
-                    let da = g_out.zip(&self.nodes[id].value, |g, y| g * (1.0 - y * y));
-                    grads[*a].add_assign(&da);
-                }
-                Op::ConcatCols(parts) => {
-                    let mut off = 0;
-                    for &p in parts {
-                        let cols = self.nodes[p].value.cols;
-                        let mut dp = Tensor::zeros(g_out.rows, cols);
-                        for r in 0..g_out.rows {
-                            let src = &g_out.data[r * g_out.cols + off..r * g_out.cols + off + cols];
-                            dp.data[r * cols..(r + 1) * cols].copy_from_slice(src);
-                        }
-                        grads[p].add_assign(&dp);
-                        off += cols;
-                    }
-                }
-                Op::GatherRows(table, ids) => {
-                    let cols = g_out.cols;
-                    let mut dt = Tensor::zeros(self.nodes[*table].value.rows, cols);
-                    for (r, &rid) in ids.iter().enumerate() {
-                        let dst = rid as usize * cols;
-                        for c in 0..cols {
-                            dt.data[dst + c] += g_out.at(r, c);
+                {
+                    let (r, c) = shape(*bias);
+                    let dbias = ensure(&mut inputs[*bias], r, c);
+                    for row in g_out.data.chunks_exact(g_out.cols) {
+                        for (o, &g) in dbias.data.iter_mut().zip(row.iter()) {
+                            *o += g;
                         }
                     }
-                    grads[*table].add_assign(&dt);
                 }
-                Op::LayerNorm {
-                    x,
-                    gain,
-                    bias,
-                    xhat,
-                    inv_std,
-                } => {
-                    let gv = &self.nodes[*gain].value;
-                    let cols = g_out.cols as f32;
-                    let mut dx = Tensor::zeros(g_out.rows, g_out.cols);
-                    let mut dgain = Tensor::zeros(1, g_out.cols);
-                    let mut dbias = Tensor::zeros(1, g_out.cols);
-                    for r in 0..g_out.rows {
-                        let mut sum_gdy = 0.0f32;
-                        let mut sum_gdy_xhat = 0.0f32;
-                        for c in 0..g_out.cols {
-                            let gdy = g_out.at(r, c) * gv.at(0, c);
-                            sum_gdy += gdy;
-                            sum_gdy_xhat += gdy * xhat.at(r, c);
-                            dgain.data[c] += g_out.at(r, c) * xhat.at(r, c);
-                            dbias.data[c] += g_out.at(r, c);
-                        }
-                        for c in 0..g_out.cols {
-                            let gdy = g_out.at(r, c) * gv.at(0, c);
-                            *dx.at_mut(r, c) = inv_std[r]
-                                * (gdy - sum_gdy / cols - xhat.at(r, c) * sum_gdy_xhat / cols);
-                        }
-                    }
-                    grads[*x].add_assign(&dx);
-                    grads[*gain].add_assign(&dgain);
-                    grads[*bias].add_assign(&dbias);
-                }
-                Op::MeanRows(x) => {
-                    let n = self.nodes[*x].value.rows.max(1) as f32;
-                    let mut dx = Tensor::zeros(self.nodes[*x].value.rows, g_out.cols);
-                    for r in 0..dx.rows {
-                        for c in 0..g_out.cols {
-                            *dx.at_mut(r, c) = g_out.data[c] / n;
-                        }
-                    }
-                    grads[*x].add_assign(&dx);
-                }
-                Op::SelectRow(x, r) => {
-                    let mut dx = Tensor::zeros(self.nodes[*x].value.rows, g_out.cols);
+                let (r, c) = shape(*x);
+                let dx = ensure(&mut inputs[*x], r, c);
+                #[allow(clippy::needless_range_loop)]
+                for row in 0..g_out.rows {
+                    let mut sum_gdy = 0.0f32;
+                    let mut sum_gdy_xhat = 0.0f32;
                     for c in 0..g_out.cols {
-                        *dx.at_mut(*r, c) = g_out.data[c];
+                        let gdy = g_out.at(row, c) * gv.at(0, c);
+                        sum_gdy += gdy;
+                        sum_gdy_xhat += gdy * xhat.at(row, c);
                     }
-                    grads[*x].add_assign(&dx);
-                }
-                Op::StackRows(rows) => {
-                    for (r, &rid) in rows.iter().enumerate() {
-                        let dr = Tensor::row(g_out.row_slice(r).to_vec());
-                        grads[rid].add_assign(&dr);
-                    }
-                }
-                Op::ConcatRows(parts) => {
-                    let mut off = 0;
-                    for &p in parts {
-                        let rows = self.nodes[p].value.rows;
-                        let cols = g_out.cols;
-                        let dp = Tensor::from_vec(
-                            rows,
-                            cols,
-                            g_out.data[off * cols..(off + rows) * cols].to_vec(),
-                        );
-                        grads[p].add_assign(&dp);
-                        off += rows;
+                    for c in 0..g_out.cols {
+                        let gdy = g_out.at(row, c) * gv.at(0, c);
+                        dx.data[row * g_out.cols + c] += inv_std[row]
+                            * (gdy - sum_gdy / cols - xhat.at(row, c) * sum_gdy_xhat / cols);
                     }
                 }
-                Op::SoftmaxRows(x) => {
-                    // dx = y ⊙ (dy − (dy·y)) per row.
-                    let y = &self.nodes[id].value;
-                    let mut dx = Tensor::zeros(y.rows, y.cols);
-                    for r in 0..y.rows {
-                        let dot: f32 = (0..y.cols).map(|c| g_out.at(r, c) * y.at(r, c)).sum();
-                        for c in 0..y.cols {
-                            *dx.at_mut(r, c) = y.at(r, c) * (g_out.at(r, c) - dot);
-                        }
+            }
+            Op::MeanRows(x) => {
+                let n = self.nodes[*x].value.rows.max(1) as f32;
+                let (r, c) = shape(*x);
+                let dx = ensure(&mut inputs[*x], r, c);
+                for row in dx.data.chunks_exact_mut(g_out.cols) {
+                    for (o, &g) in row.iter_mut().zip(g_out.data.iter()) {
+                        *o += g / n;
                     }
-                    grads[*x].add_assign(&dx);
                 }
-                Op::NormalizeRows { x, norms } => {
-                    let y = &self.nodes[id].value;
-                    let mut dx = Tensor::zeros(y.rows, y.cols);
-                    for r in 0..y.rows {
-                        let dot: f32 = (0..y.cols).map(|c| g_out.at(r, c) * y.at(r, c)).sum();
-                        for c in 0..y.cols {
-                            *dx.at_mut(r, c) = (g_out.at(r, c) - y.at(r, c) * dot) / norms[r];
-                        }
+            }
+            Op::SelectRow(x, sel) => {
+                let (r, c) = shape(*x);
+                let dx = ensure(&mut inputs[*x], r, c);
+                let dst = &mut dx.data[sel * g_out.cols..(sel + 1) * g_out.cols];
+                for (o, &g) in dst.iter_mut().zip(g_out.data.iter()) {
+                    *o += g;
+                }
+            }
+            Op::StackRows(rows) => {
+                for (r, &rid) in rows.iter().enumerate() {
+                    let (rr, rc) = shape(rid);
+                    let dr = ensure(&mut inputs[rid], rr, rc);
+                    let src = &g_out.data[r * g_out.cols..(r + 1) * g_out.cols];
+                    for (o, &g) in dr.data.iter_mut().zip(src.iter()) {
+                        *o += g;
                     }
-                    grads[*x].add_assign(&dx);
                 }
-                Op::CrossEntropy {
-                    logits,
-                    probs,
-                    targets,
-                } => {
-                    let scale = g_out.item() / targets.len().max(1) as f32;
-                    let mut dl = probs.clone();
-                    for (r, &t) in targets.iter().enumerate() {
-                        *dl.at_mut(r, t) -= 1.0;
+            }
+            Op::ConcatRows(parts) => {
+                let mut off = 0;
+                for &p in parts {
+                    let (rows, cols) = shape(p);
+                    let dp = ensure(&mut inputs[p], rows, cols);
+                    let src = &g_out.data[off * cols..(off + rows) * cols];
+                    for (o, &g) in dp.data.iter_mut().zip(src.iter()) {
+                        *o += g;
                     }
-                    let dl = dl.map(|v| v * scale);
-                    grads[*logits].add_assign(&dl);
+                    off += rows;
                 }
-                Op::Mse { pred, target } => {
-                    let n = target.data.len().max(1) as f32;
-                    let scale = 2.0 * g_out.item() / n;
-                    let dp = self.nodes[*pred]
-                        .value
-                        .zip(target, |p, t| (p - t) * scale);
-                    grads[*pred].add_assign(&dp);
+            }
+            Op::SoftmaxRows(x) => {
+                // dx = y ⊙ (dy − (dy·y)) per row.
+                let y = &self.nodes[id].value;
+                let (r, c) = shape(*x);
+                let dx = ensure(&mut inputs[*x], r, c);
+                for row in 0..y.rows {
+                    let dot: f32 = (0..y.cols).map(|c| g_out.at(row, c) * y.at(row, c)).sum();
+                    for c in 0..y.cols {
+                        dx.data[row * y.cols + c] += y.at(row, c) * (g_out.at(row, c) - dot);
+                    }
+                }
+            }
+            Op::NormalizeRows { x, norms } => {
+                let y = &self.nodes[id].value;
+                let (r, c) = shape(*x);
+                let dx = ensure(&mut inputs[*x], r, c);
+                #[allow(clippy::needless_range_loop)]
+                for row in 0..y.rows {
+                    let dot: f32 = (0..y.cols).map(|c| g_out.at(row, c) * y.at(row, c)).sum();
+                    for c in 0..y.cols {
+                        dx.data[row * y.cols + c] +=
+                            (g_out.at(row, c) - y.at(row, c) * dot) / norms[row];
+                    }
+                }
+            }
+            Op::CrossEntropy {
+                logits,
+                probs,
+                targets,
+            } => {
+                let scale = g_out.item() / targets.len().max(1) as f32;
+                let (r, c) = shape(*logits);
+                let dl = ensure(&mut inputs[*logits], r, c);
+                for (row, &t) in targets.iter().enumerate() {
+                    for c in 0..probs.cols {
+                        let onehot = if c == t { 1.0 } else { 0.0 };
+                        dl.data[row * probs.cols + c] += (probs.at(row, c) - onehot) * scale;
+                    }
+                }
+            }
+            Op::Mse { pred, target } => {
+                let n = target.data.len().max(1) as f32;
+                let scale = 2.0 * g_out.item() / n;
+                let pv = &self.nodes[*pred].value;
+                let (r, c) = shape(*pred);
+                let dp = ensure(&mut inputs[*pred], r, c);
+                for ((o, &p), &t) in dp
+                    .data
+                    .iter_mut()
+                    .zip(pv.data.iter())
+                    .zip(target.data.iter())
+                {
+                    *o += (p - t) * scale;
                 }
             }
         }
-        grads
     }
 
     /// Collects `(param_key, grad)` pairs after [`Graph::backward`].
@@ -707,6 +966,83 @@ mod tests {
             let s = g.stack_rows(&[r0, r2]);
             g.mse(s, Tensor::zeros(2, 4))
         });
+    }
+
+    #[test]
+    fn grad_fused_linear() {
+        let w = rngt(3, 4, 41);
+        let b = rngt(1, 4, 42);
+        grad_check(rngt(5, 3, 40), move |g, x| {
+            let wn = g.constant(w.clone());
+            let bn = g.constant(b.clone());
+            let y = g.linear(x, wn, bn);
+            g.mse(y, Tensor::zeros(5, 4))
+        });
+    }
+
+    #[test]
+    fn grad_fused_linear_relu() {
+        let w = rngt(3, 4, 51);
+        let b = rngt(1, 4, 52);
+        grad_check(rngt(5, 3, 50), move |g, x| {
+            let wn = g.constant(w.clone());
+            let bn = g.constant(b.clone());
+            let y = g.linear_relu(x, wn, bn);
+            g.mse(y, Tensor::zeros(5, 4))
+        });
+    }
+
+    #[test]
+    fn fused_linear_matches_composed_ops() {
+        // Forward values and parameter gradients of the fused op must
+        // match matmul→add_row→relu composed from primitive ops.
+        let x = rngt(6, 5, 61);
+        let w = rngt(5, 4, 62);
+        let b = rngt(1, 4, 63);
+        let run = |fused: bool| -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+            let mut g = Graph::new();
+            let xn = g.param(1, x.clone());
+            let wn = g.param(2, w.clone());
+            let bn = g.param(3, b.clone());
+            let y = if fused {
+                g.linear_relu(xn, wn, bn)
+            } else {
+                let mm = g.matmul(xn, wn);
+                let aff = g.add_row(mm, bn);
+                g.relu(aff)
+            };
+            let loss = g.mse(y, Tensor::zeros(6, 4));
+            let grads = g.backward(loss);
+            (
+                g.value(y).data.clone(),
+                grads[xn].data.clone(),
+                grads[wn].data.clone(),
+                grads[bn].data.clone(),
+            )
+        };
+        let (yf, gxf, gwf, gbf) = run(true);
+        let (yc, gxc, gwc, gbc) = run(false);
+        assert_eq!(yf, yc, "fused forward must match composed forward");
+        for (label, a, b) in [("dx", &gxf, &gxc), ("dw", &gwf, &gwc), ("db", &gbf, &gbc)] {
+            for (u, v) in a.iter().zip(b.iter()) {
+                assert!(
+                    (u - v).abs() <= 1e-6 * (1.0 + v.abs()),
+                    "{label}: {u} vs {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_report_zero_gradients() {
+        let mut g = Graph::new();
+        let used = g.param(1, Tensor::scalar(2.0));
+        let unused = g.param(2, Tensor::from_vec(2, 2, vec![1.0; 4]));
+        let loss = g.mse(used, Tensor::scalar(0.0));
+        let grads = g.backward(loss);
+        assert!(grads[used].item() != 0.0);
+        assert_eq!((grads[unused].rows, grads[unused].cols), (2, 2));
+        assert!(grads[unused].data.iter().all(|&v| v == 0.0));
     }
 
     #[test]

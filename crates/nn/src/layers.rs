@@ -95,12 +95,19 @@ impl Linear {
         }
     }
 
-    /// Forward pass.
+    /// Forward pass (fused `x @ W + b` kernel, one tape node).
     pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
         let w = self.w.bind(g);
         let b = self.b.bind(g);
-        let y = g.matmul(x, w);
-        g.add_row(y, b)
+        g.linear(x, w, b)
+    }
+
+    /// Forward pass with fused ReLU (`relu(x @ W + b)`), used by MLP
+    /// hidden layers to avoid a separate activation tape node.
+    pub fn forward_relu(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let w = self.w.bind(g);
+        let b = self.b.bind(g);
+        g.linear_relu(x, w, b)
     }
 }
 
@@ -200,9 +207,15 @@ impl MultiHeadAttention {
         assert_eq!(dim % heads, 0, "dim must divide into heads");
         let head_dim = dim / heads;
         MultiHeadAttention {
-            wq: (0..heads).map(|_| Linear::new(dim, head_dim, rng)).collect(),
-            wk: (0..heads).map(|_| Linear::new(dim, head_dim, rng)).collect(),
-            wv: (0..heads).map(|_| Linear::new(dim, head_dim, rng)).collect(),
+            wq: (0..heads)
+                .map(|_| Linear::new(dim, head_dim, rng))
+                .collect(),
+            wk: (0..heads)
+                .map(|_| Linear::new(dim, head_dim, rng))
+                .collect(),
+            wv: (0..heads)
+                .map(|_| Linear::new(dim, head_dim, rng))
+                .collect(),
             wo: Linear::new(dim, dim, rng),
             head_dim,
         }
@@ -343,13 +356,15 @@ impl Mlp {
         }
     }
 
-    /// Forward pass (ReLU between layers, none after the last).
+    /// Forward pass (ReLU between layers, none after the last; hidden
+    /// layers use the fused linear+ReLU kernel).
     pub fn forward(&self, g: &mut Graph, mut x: NodeId) -> NodeId {
         for (i, l) in self.layers.iter().enumerate() {
-            x = l.forward(g, x);
-            if i + 1 != self.layers.len() {
-                x = g.relu(x);
-            }
+            x = if i + 1 != self.layers.len() {
+                l.forward_relu(g, x)
+            } else {
+                l.forward(g, x)
+            };
         }
         x
     }
@@ -357,7 +372,10 @@ impl Mlp {
 
 impl Layer for Mlp {
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 }
 

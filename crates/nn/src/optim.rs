@@ -68,7 +68,9 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);
         for p in params.iter_mut() {
-            let Some(g) = merged.get(&p.key) else { continue };
+            let Some(g) = merged.get(&p.key) else {
+                continue;
+            };
             for i in 0..p.value.data.len() {
                 let gi = g.data[i];
                 p.m.data[i] = self.beta1 * p.m.data[i] + (1.0 - self.beta1) * gi;
@@ -102,7 +104,11 @@ mod tests {
             let pg = g.param_grads(&grads);
             opt.step(&mut [&mut p], &pg);
         }
-        assert!((p.value.item() - 1.5).abs() < 0.05, "got {}", p.value.item());
+        assert!(
+            (p.value.item() - 1.5).abs() < 0.05,
+            "got {}",
+            p.value.item()
+        );
     }
 
     #[test]

@@ -3,10 +3,43 @@
 //! Everything in the reproduction's models is expressible with 2-D
 //! tensors (a sequence or node set is `rows`, features are `cols`), which
 //! keeps the from-scratch engine small and the shapes auditable.
+//!
+//! ## Kernel design
+//!
+//! The dense products (`matmul`, `matmul_bt`, `matmul_at`) and the sparse
+//! propagation ([`SparseMatrix::matmul`]) are the training hot paths, so
+//! they run through blocked, row-parallel kernels:
+//!
+//! * **Row-parallel owner-computes**: output rows are partitioned into
+//!   contiguous blocks, one per worker thread
+//!   ([`nettag_par::for_each_row_block_mut`]); every output element is
+//!   written by exactly one thread.
+//! * **Register tiling**: `matmul` computes full `RT`×`CT` output tiles
+//!   in registers across the whole `k` sweep, so output-memory traffic
+//!   drops to one load and one store per element; `matmul_bt` is a plain
+//!   row-of-dot-products loop (untiled — its B rows are read
+//!   sequentially per output row).
+//! * **Deterministic reduction order**: within each output element the
+//!   accumulation order over the inner dimension is ascending `k` in
+//!   every code path, so the parallel kernels are *bitwise identical* to
+//!   the scalar reference kernels (`matmul_ref` etc.) that the
+//!   equivalence property tests replay.
+//!
+//! The sparse side stores the adjacency in flat CSR (`indptr`/`indices`/
+//! `weights`) with a prebuilt transpose so the backward pass is a plain
+//! replay on contiguous memory.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Minimum number of inner-loop multiply-adds before a product is worth
+/// spreading across threads; below this the kernel runs on the caller's
+/// thread (same code path, one row block). Scoped-thread spawn costs tens
+/// of microseconds per call (there is no persistent pool yet), so only
+/// products north of ~1M multiply-adds — roughly 100 µs of serial work —
+/// can amortize the fan-out.
+const PAR_MIN_FLOPS: usize = 1 << 20;
 
 /// A dense row-major 2-D tensor of f32.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,23 +126,63 @@ impl Tensor {
         self.data[0]
     }
 
-    /// `self @ other` (matrix product).
+    /// `self @ other` (matrix product), blocked and row-parallel.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out, false);
+        out
+    }
+
+    /// `self @ other` accumulated into `out` (`out += self @ other` when
+    /// `accumulate`, else `out = self @ other`). This is the allocation-
+    /// free entry point the autograd backward pass uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor, accumulate: bool) {
+        assert_eq!(self.cols, other.rows, "matmul inner dims");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul out shape"
+        );
+        let inner = self.cols;
+        let n = other.cols;
+        run_row_blocks(
+            &mut out.data,
+            n,
+            self.rows * inner * n,
+            |first_row, chunk| {
+                mm_block(
+                    &self.data[first_row * inner..],
+                    inner,
+                    &other.data,
+                    n,
+                    chunk,
+                    accumulate,
+                );
+            },
+        );
+    }
+
+    /// Scalar reference for [`Tensor::matmul`]: branch-free naive i-k-j
+    /// loops with the same per-element accumulation order as the blocked
+    /// kernel (ascending `k`), so results are bitwise comparable.
+    pub fn matmul_ref(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.rows, "matmul inner dims");
         let mut out = Tensor::zeros(self.rows, other.cols);
+        let n = other.cols;
         for i in 0..self.rows {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
             for k in 0..self.cols {
-                let a = self.at(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
+                let a = self.data[i * self.cols + k];
+                let brow = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(brow.iter()) {
                     *o += a * b;
                 }
             }
@@ -117,37 +190,161 @@ impl Tensor {
         out
     }
 
-    /// `self @ other^T`.
+    /// Fused `self @ w + bias` (bias is 1×n, broadcast over rows). The
+    /// product lands first, then the bias row is added in the same hot
+    /// row block — identical FP order to `matmul` followed by a row add.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_bias(&self, w: &Tensor, bias: &Tensor) -> Tensor {
+        assert_eq!(self.cols, w.rows, "matmul inner dims");
+        assert_eq!((bias.rows, bias.cols), (1, w.cols), "bias must be 1×n");
+        let inner = self.cols;
+        let n = w.cols;
+        let mut out = Tensor::zeros(self.rows, n);
+        run_row_blocks(
+            &mut out.data,
+            n,
+            self.rows * inner * n,
+            |first_row, chunk| {
+                mm_block(
+                    &self.data[first_row * inner..],
+                    inner,
+                    &w.data,
+                    n,
+                    chunk,
+                    false,
+                );
+                for row in chunk.chunks_exact_mut(n) {
+                    for (o, &b) in row.iter_mut().zip(bias.data.iter()) {
+                        *o += b;
+                    }
+                }
+            },
+        );
+        out
+    }
+
+    /// `self @ other^T`, row-parallel with tiled dot products.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
     pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_bt_into(other, &mut out, false);
+        out
+    }
+
+    /// `self @ other^T` accumulated into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_bt_into(&self, other: &Tensor, out: &mut Tensor, accumulate: bool) {
+        assert_eq!(self.cols, other.cols, "matmul_bt inner dims");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.rows),
+            "matmul_bt out shape"
+        );
+        let inner = self.cols;
+        let n = other.rows;
+        run_row_blocks(
+            &mut out.data,
+            n,
+            self.rows * inner * n,
+            |first_row, chunk| {
+                for (bi, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                    let i = first_row + bi;
+                    let arow = &self.data[i * inner..(i + 1) * inner];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        let brow = &other.data[j * inner..(j + 1) * inner];
+                        let s = dot(arow, brow);
+                        if accumulate {
+                            *o += s;
+                        } else {
+                            *o = s;
+                        }
+                    }
+                }
+            },
+        );
+    }
+
+    /// Scalar reference for [`Tensor::matmul_bt`] (same dot-product
+    /// reduction order as the parallel kernel).
+    pub fn matmul_bt_ref(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.cols, "matmul_bt inner dims");
         let mut out = Tensor::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let arow = self.row_slice(i);
             for j in 0..other.rows {
-                let brow = other.row_slice(j);
-                let mut s = 0.0;
-                for k in 0..self.cols {
-                    s += arow[k] * brow[k];
-                }
-                *out.at_mut(i, j) = s;
+                out.data[i * other.rows + j] = dot(arow, other.row_slice(j));
             }
         }
         out
     }
 
-    /// `self^T @ other`.
+    /// `self^T @ other`, parallel over output rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
     pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.matmul_at_into(other, &mut out, false);
+        out
+    }
+
+    /// `self^T @ other` accumulated into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_at_into(&self, other: &Tensor, out: &mut Tensor, accumulate: bool) {
+        assert_eq!(self.rows, other.rows, "matmul_at inner dims");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "matmul_at out shape"
+        );
+        let m = self.cols;
+        let n = other.cols;
+        run_row_blocks(&mut out.data, n, self.rows * m * n, |first_row, chunk| {
+            if !accumulate {
+                chunk.fill(0.0);
+            }
+            let rows_here = chunk.len() / n;
+            // Ascending-k axpy per owned output row: out[i, :] += A[k, i] * B[k, :].
+            for k in 0..self.rows {
+                let arow = &self.data[k * m..(k + 1) * m];
+                let brow = &other.data[k * n..(k + 1) * n];
+                for bi in 0..rows_here {
+                    let a = arow[first_row + bi];
+                    let out_row = &mut chunk[bi * n..(bi + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Scalar reference for [`Tensor::matmul_at`] (branch-free, ascending
+    /// `k` accumulation).
+    pub fn matmul_at_ref(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rows, other.rows, "matmul_at inner dims");
         let mut out = Tensor::zeros(self.cols, other.cols);
+        let n = other.cols;
         for k in 0..self.rows {
             let arow = self.row_slice(k);
             let brow = other.row_slice(k);
+            #[allow(clippy::needless_range_loop)]
             for i in 0..self.cols {
                 let a = arow[i];
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(brow.iter()) {
                     *o += a * b;
                 }
@@ -182,7 +379,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip shapes");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "zip shapes"
+        );
         Tensor {
             rows: self.rows,
             cols: self.cols,
@@ -201,7 +402,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Tensor) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shapes");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add shapes"
+        );
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += b;
         }
@@ -240,29 +445,198 @@ impl Tensor {
     }
 }
 
-/// A sparse row-compressed matrix used for graph propagation (normalized
-/// adjacency). Stored with both forward and transposed row lists so the
-/// backward pass is a plain replay.
+/// Dispatches a row-partitioned kernel: parallel across threads when the
+/// product is large enough, otherwise inline on the caller's thread with
+/// the identical per-row code path.
+fn run_row_blocks<F>(out: &mut [f32], width: usize, flops: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if out.is_empty() || width == 0 {
+        return;
+    }
+    if flops >= PAR_MIN_FLOPS && nettag_par::num_threads() > 1 {
+        nettag_par::for_each_row_block_mut(out, width, f);
+    } else {
+        f(0, out);
+    }
+}
+
+/// Blocked multiply kernel for one contiguous block of output rows:
+/// `chunk (+)= A_block @ B` where `a` starts at the block's first row.
+/// Loop order is (row-block, column-panel, k, row): the `JB`-wide B panel
+/// stays hot across `IB` output rows, and every output element still
+/// accumulates in ascending-`k` order.
+/// Register-tile height (output rows held live per micro-kernel call).
+const RT: usize = 4;
+/// Register-tile width in floats (two 8-wide vector registers).
+const CT: usize = 16;
+
+fn mm_block(a: &[f32], inner: usize, b: &[f32], n: usize, chunk: &mut [f32], accumulate: bool) {
+    if !accumulate {
+        chunk.fill(0.0);
+    }
+    let rows_here = chunk.len() / n;
+    // Full RT×CT register tiles: the output tile lives in registers
+    // across the whole k sweep, so out-memory traffic drops from
+    // O(inner) loads+stores per element to exactly one of each. Each
+    // element still accumulates in ascending-k order — bitwise identical
+    // to the scalar reference.
+    let mut i = 0;
+    while i + RT <= rows_here {
+        let mut j = 0;
+        while j + CT <= n {
+            let mut acc = [[0.0f32; CT]; RT];
+            for (r, row) in acc.iter_mut().enumerate() {
+                row.copy_from_slice(&chunk[(i + r) * n + j..(i + r) * n + j + CT]);
+            }
+            let arows: [&[f32]; RT] = [
+                &a[i * inner..(i + 1) * inner],
+                &a[(i + 1) * inner..(i + 2) * inner],
+                &a[(i + 2) * inner..(i + 3) * inner],
+                &a[(i + 3) * inner..(i + 4) * inner],
+            ];
+            for k in 0..inner {
+                let bt: &[f32; CT] = b[k * n + j..k * n + j + CT].try_into().expect("tile width");
+                for (row, arow) in acc.iter_mut().zip(arows.iter()) {
+                    let av = arow[k];
+                    for (o, &bv) in row.iter_mut().zip(bt.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            for (r, row) in acc.iter().enumerate() {
+                chunk[(i + r) * n + j..(i + r) * n + j + CT].copy_from_slice(row);
+            }
+            j += CT;
+        }
+        if j < n {
+            axpy_rows(a, inner, b, n, chunk, i, i + RT, j);
+        }
+        i += RT;
+    }
+    if i < rows_here {
+        axpy_rows(a, inner, b, n, chunk, i, rows_here, 0);
+    }
+}
+
+/// Remainder path: plain ascending-k axpy over `cols_from..n` for rows
+/// `[row_lo, row_hi)` of the chunk — the same per-element order as the
+/// register-tiled fast path and the scalar reference.
+#[allow(clippy::too_many_arguments)]
+fn axpy_rows(
+    a: &[f32],
+    inner: usize,
+    b: &[f32],
+    n: usize,
+    chunk: &mut [f32],
+    row_lo: usize,
+    row_hi: usize,
+    cols_from: usize,
+) {
+    for i in row_lo..row_hi {
+        let out_row = &mut chunk[i * n + cols_from..(i + 1) * n];
+        for k in 0..inner {
+            let av = a[i * inner + k];
+            let brow = &b[k * n + cols_from..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Dot product with a fixed reduction order (4 partial lanes combined in
+/// index order), shared by the parallel and reference `matmul_bt` paths.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        for l in 0..4 {
+            lanes[l] += ca[l] * cb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += x * y;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
+/// A sparse matrix in CSR (compressed sparse row) layout, used for graph
+/// propagation (normalized adjacency). Both the forward and transposed
+/// orientations are stored flat, so SpMM and its backward replay walk
+/// contiguous memory, and rows parallelize without synchronization.
 #[derive(Debug, Clone)]
 pub struct SparseMatrix {
     /// Number of rows (= cols; adjacency is square here).
     pub n: usize,
-    /// `rows[i]` = list of `(col, weight)`.
-    pub rows: Vec<Vec<(u32, f32)>>,
-    /// Transposed rows for the backward pass.
-    pub rows_t: Vec<Vec<(u32, f32)>>,
+    fwd: Csr,
+    bwd: Csr,
+}
+
+/// One CSR orientation: row `i` owns `indices[indptr[i]..indptr[i+1]]`
+/// (column ids) and the matching `weights` span.
+#[derive(Debug, Clone)]
+struct Csr {
+    indptr: Vec<u32>,
+    indices: Vec<u32>,
+    weights: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds CSR from triplets via stable counting sort on `key`, so
+    /// within-row entry order matches triplet order.
+    fn build(n: usize, triplets: &[(u32, u32, f32)], transpose: bool) -> Csr {
+        let mut counts = vec![0u32; n + 1];
+        for &(r, c, _) in triplets {
+            let key = if transpose { c } else { r };
+            counts[key as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut cursor = counts;
+        let nnz = triplets.len();
+        let mut indices = vec![0u32; nnz];
+        let mut weights = vec![0.0f32; nnz];
+        for &(r, c, w) in triplets {
+            let (key, other) = if transpose { (c, r) } else { (r, c) };
+            let slot = cursor[key as usize] as usize;
+            cursor[key as usize] += 1;
+            indices[slot] = other;
+            weights[slot] = w;
+        }
+        Csr {
+            indptr,
+            indices,
+            weights,
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let lo = self.indptr[i] as usize;
+        let hi = self.indptr[i + 1] as usize;
+        (&self.indices[lo..hi], &self.weights[lo..hi])
+    }
 }
 
 impl SparseMatrix {
     /// Builds from `(row, col, weight)` triplets.
-    pub fn from_triplets(n: usize, triplets: impl IntoIterator<Item = (u32, u32, f32)>) -> SparseMatrix {
-        let mut rows = vec![Vec::new(); n];
-        let mut rows_t = vec![Vec::new(); n];
-        for (r, c, w) in triplets {
-            rows[r as usize].push((c, w));
-            rows_t[c as usize].push((r, w));
+    pub fn from_triplets(
+        n: usize,
+        triplets: impl IntoIterator<Item = (u32, u32, f32)>,
+    ) -> SparseMatrix {
+        let triplets: Vec<(u32, u32, f32)> = triplets.into_iter().collect();
+        SparseMatrix {
+            n,
+            fwd: Csr::build(n, &triplets, false),
+            bwd: Csr::build(n, &triplets, true),
         }
-        SparseMatrix { n, rows, rows_t }
     }
 
     /// Symmetrically-normalized adjacency with self loops (GCN-style):
@@ -290,29 +664,86 @@ impl SparseMatrix {
         SparseMatrix::from_triplets(n, triplets)
     }
 
-    /// `self @ x` (dense rhs), using the forward row lists.
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.fwd.indices.len()
+    }
+
+    /// Entries of forward row `i` as `(col, weight)` pairs (in insertion
+    /// order of the originating triplets).
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let (cols, ws) = self.fwd.row(i);
+        cols.iter().copied().zip(ws.iter().copied())
+    }
+
+    /// Number of entries in forward row `i`.
+    pub fn row_len(&self, i: usize) -> usize {
+        self.fwd.row(i).0.len()
+    }
+
+    /// `self @ x` (dense rhs), row-parallel over the CSR rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows != self.n`.
     pub fn matmul(&self, x: &Tensor) -> Tensor {
-        self.apply(&self.rows, x)
+        let mut out = Tensor::zeros(self.n, x.cols);
+        self.spmm_into(&self.fwd, x, &mut out, false);
+        out
     }
 
     /// `self^T @ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows != self.n`.
     pub fn matmul_t(&self, x: &Tensor) -> Tensor {
-        self.apply(&self.rows_t, x)
+        let mut out = Tensor::zeros(self.n, x.cols);
+        self.spmm_into(&self.bwd, x, &mut out, false);
+        out
     }
 
-    fn apply(&self, rows: &[Vec<(u32, f32)>], x: &Tensor) -> Tensor {
+    /// `out (+)= self @ x` without allocating (autograd backward entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_into(&self, x: &Tensor, out: &mut Tensor, accumulate: bool) {
+        self.spmm_into(&self.fwd, x, out, accumulate);
+    }
+
+    /// `out (+)= self^T @ x` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_t_into(&self, x: &Tensor, out: &mut Tensor, accumulate: bool) {
+        self.spmm_into(&self.bwd, x, out, accumulate);
+    }
+
+    fn spmm_into(&self, csr: &Csr, x: &Tensor, out: &mut Tensor, accumulate: bool) {
         assert_eq!(x.rows, self.n, "spmm shape");
-        let mut out = Tensor::zeros(self.n, x.cols);
-        for (i, row) in rows.iter().enumerate() {
-            let orow = &mut out.data[i * x.cols..(i + 1) * x.cols];
-            for &(c, w) in row {
-                let xrow = x.row_slice(c as usize);
-                for (o, &v) in orow.iter_mut().zip(xrow.iter()) {
-                    *o += w * v;
+        assert_eq!((out.rows, out.cols), (self.n, x.cols), "spmm out shape");
+        let w = x.cols;
+        run_row_blocks(
+            &mut out.data,
+            w,
+            csr.indices.len() * w,
+            |first_row, chunk| {
+                if !accumulate {
+                    chunk.fill(0.0);
                 }
-            }
-        }
-        out
+                for (bi, orow) in chunk.chunks_exact_mut(w).enumerate() {
+                    let (cols, ws) = csr.row(first_row + bi);
+                    for (&c, &wt) in cols.iter().zip(ws.iter()) {
+                        let xrow = &x.data[c as usize * w..(c as usize + 1) * w];
+                        for (o, &v) in orow.iter_mut().zip(xrow.iter()) {
+                            *o += wt * v;
+                        }
+                    }
+                }
+            },
+        );
     }
 }
 
@@ -348,6 +779,68 @@ mod tests {
     }
 
     #[test]
+    fn blocked_kernels_match_references_bitwise() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 33, 9),
+            (64, 48, 80),
+            (130, 70, 66),
+        ] {
+            let a = Tensor::xavier(m, k, &mut rng);
+            let b = Tensor::xavier(k, n, &mut rng);
+            assert_eq!(
+                a.matmul(&b).data,
+                a.matmul_ref(&b).data,
+                "matmul {m}x{k}x{n}"
+            );
+            let bt = Tensor::xavier(n, k, &mut rng);
+            assert_eq!(
+                a.matmul_bt(&bt).data,
+                a.matmul_bt_ref(&bt).data,
+                "matmul_bt {m}x{k}x{n}"
+            );
+            let at = Tensor::xavier(m, n, &mut rng);
+            assert_eq!(
+                a.matmul_at(&at).data,
+                a.matmul_at_ref(&at).data,
+                "matmul_at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_into_accumulates() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Tensor::xavier(4, 6, &mut rng);
+        let b = Tensor::xavier(6, 5, &mut rng);
+        let base = Tensor::xavier(4, 5, &mut rng);
+        let mut out = base.clone();
+        a.matmul_into(&b, &mut out, true);
+        let expect = base.zip(&a.matmul_ref(&b), |x, y| x + y);
+        for (o, e) in out.data.iter().zip(expect.data.iter()) {
+            assert!((o - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_bias_matches_separate_ops_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Tensor::xavier(9, 13, &mut rng);
+        let w = Tensor::xavier(13, 11, &mut rng);
+        let b = Tensor::xavier(1, 11, &mut rng);
+        let fused = x.matmul_bias(&w, &b);
+        let mut composed = x.matmul(&w);
+        for r in 0..composed.rows {
+            for c in 0..composed.cols {
+                *composed.at_mut(r, c) += b.data[c];
+            }
+        }
+        assert_eq!(fused.data, composed.data);
+    }
+
+    #[test]
     fn softmax_rows_sum_to_one() {
         let t = Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
         let s = t.softmax_rows();
@@ -379,8 +872,8 @@ mod tests {
         let y1 = adj.matmul_t(&x);
         // Dense reference.
         let mut dense = Tensor::zeros(4, 4);
-        for (i, row) in adj.rows.iter().enumerate() {
-            for &(c, w) in row {
+        for i in 0..adj.n {
+            for (c, w) in adj.row_entries(i) {
                 *dense.at_mut(i, c as usize) = w;
             }
         }
@@ -388,6 +881,22 @@ mod tests {
         for (a, b) in y1.data.iter().zip(y2.data.iter()) {
             assert!((a - b).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn csr_rows_preserve_triplet_order_and_duplicates() {
+        let m = SparseMatrix::from_triplets(
+            3,
+            vec![(0, 2, 1.0), (0, 1, 2.0), (0, 2, 3.0), (2, 0, 4.0)],
+        );
+        let row0: Vec<(u32, f32)> = m.row_entries(0).collect();
+        assert_eq!(row0, vec![(2, 1.0), (1, 2.0), (2, 3.0)]);
+        assert_eq!(m.row_len(1), 0);
+        assert_eq!(m.nnz(), 4);
+        // Transpose replay: column 2 received rows 0 (twice).
+        let x = Tensor::from_vec(3, 1, vec![1., 1., 1.]);
+        let yt = m.matmul_t(&x);
+        assert_eq!(yt.data, vec![4.0, 2.0, 4.0]);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Property tests pinning the parallel/blocked kernels to their scalar
+//! references: CSR SpMM against a nested-Vec reference, blocked matmul
+//! against the branch-free triple loop (bitwise, thanks to deterministic
+//! per-element reduction order), and fused-linear forward/backward against
+//! composed primitive ops on a fixed-seed TAGFormer-shaped step.
+
+use nettag_nn::{Graph, SparseMatrix, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+/// Nested-Vec sparse reference: the seed's original representation,
+/// rebuilt from triplets, applied with the seed's original loop.
+fn spmm_nested_ref(n: usize, triplets: &[(u32, u32, f32)], x: &Tensor) -> Tensor {
+    let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+    for &(r, c, w) in triplets {
+        rows[r as usize].push((c, w));
+    }
+    let mut out = Tensor::zeros(n, x.cols);
+    for (i, row) in rows.iter().enumerate() {
+        let orow = &mut out.data[i * x.cols..(i + 1) * x.cols];
+        for &(c, w) in row {
+            let xrow = x.row_slice(c as usize);
+            for (o, &v) in orow.iter_mut().zip(xrow.iter()) {
+                *o += w * v;
+            }
+        }
+    }
+    out
+}
+
+fn spmm_t_nested_ref(n: usize, triplets: &[(u32, u32, f32)], x: &Tensor) -> Tensor {
+    let transposed: Vec<(u32, u32, f32)> = triplets.iter().map(|&(r, c, w)| (c, r, w)).collect();
+    spmm_nested_ref(n, &transposed, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CSR SpMM (forward and transpose) matches the nested-Vec reference.
+    #[test]
+    fn csr_spmm_matches_nested_vec_reference(
+        edges in prop::collection::vec((0u32..12, 0u32..12, -1.0f32..1.0), 0..40),
+        x in arb_tensor(12, 5),
+    ) {
+        let m = SparseMatrix::from_triplets(12, edges.clone());
+        prop_assert_eq!(m.nnz(), edges.len());
+        let y = m.matmul(&x);
+        let y_ref = spmm_nested_ref(12, &edges, &x);
+        for (a, b) in y.data.iter().zip(y_ref.data.iter()) {
+            prop_assert!((a - b).abs() < 1e-5, "spmm {} vs {}", a, b);
+        }
+        let yt = m.matmul_t(&x);
+        let yt_ref = spmm_t_nested_ref(12, &edges, &x);
+        for (a, b) in yt.data.iter().zip(yt_ref.data.iter()) {
+            prop_assert!((a - b).abs() < 1e-5, "spmm_t {} vs {}", a, b);
+        }
+    }
+
+    /// The blocked (and, on multi-core hosts, parallel) matmul is bitwise
+    /// identical to the scalar reference: both accumulate each output
+    /// element in ascending inner-index order.
+    #[test]
+    fn blocked_matmul_is_bitwise_equal_to_scalar(
+        a in arb_tensor(13, 21),
+        b in arb_tensor(21, 17),
+    ) {
+        prop_assert_eq!(a.matmul(&b).data, a.matmul_ref(&b).data);
+    }
+
+    /// Same bitwise pin for the transposed product kernels.
+    #[test]
+    fn transposed_kernels_are_bitwise_equal_to_scalar(
+        a in arb_tensor(11, 19),
+        bt in arb_tensor(7, 19),
+        at in arb_tensor(11, 9),
+    ) {
+        prop_assert_eq!(a.matmul_bt(&bt).data, a.matmul_bt_ref(&bt).data);
+        prop_assert_eq!(a.matmul_at(&at).data, a.matmul_at_ref(&at).data);
+    }
+
+    /// Accumulating entry points equal allocate-then-add.
+    #[test]
+    fn accumulate_kernels_match_allocate_then_add(
+        a in arb_tensor(6, 8),
+        b in arb_tensor(8, 7),
+        seed in arb_tensor(6, 7),
+    ) {
+        let mut acc = seed.clone();
+        a.matmul_into(&b, &mut acc, true);
+        let composed = seed.zip(&a.matmul_ref(&b), |x, y| x + y);
+        for (u, v) in acc.data.iter().zip(composed.data.iter()) {
+            prop_assert!((u - v).abs() <= 1e-5 * (1.0 + v.abs()));
+        }
+    }
+}
+
+/// A fixed-seed TAGFormer-shaped training step — graph propagation over a
+/// CLS-augmented adjacency, a fused linear layer, contrastive-style
+/// normalization — must produce the same loss and parameter gradients as
+/// the same computation built only from primitive (unfused) ops.
+#[test]
+fn fixed_seed_tagformer_step_gradients_unchanged() {
+    let mut rng = StdRng::seed_from_u64(0x7AF);
+    let n = 10;
+    let dim = 16;
+    let feats = Tensor::xavier(n, dim, &mut rng);
+    let w = Tensor::xavier(dim, dim, &mut rng);
+    let b = Tensor::xavier(1, dim, &mut rng);
+    let w2 = Tensor::xavier(dim, 8, &mut rng);
+    let b2 = Tensor::xavier(1, 8, &mut rng);
+    let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    let adj = std::rc::Rc::new(SparseMatrix::normalized_adjacency(n, &edges));
+
+    let run = |fused: bool| -> (f32, Vec<(usize, Tensor)>) {
+        let mut g = Graph::new();
+        let x = g.constant(feats.clone());
+        let wn = g.param(1, w.clone());
+        let bn = g.param(2, b.clone());
+        let w2n = g.param(3, w2.clone());
+        let b2n = g.param(4, b2.clone());
+        let p = g.spmm(adj.clone(), x);
+        let h = if fused {
+            g.linear_relu(p, wn, bn)
+        } else {
+            let mm = g.matmul(p, wn);
+            let aff = g.add_row(mm, bn);
+            g.relu(aff)
+        };
+        let z = if fused {
+            g.linear(h, w2n, b2n)
+        } else {
+            let mm = g.matmul(h, w2n);
+            g.add_row(mm, b2n)
+        };
+        let zn = g.normalize_rows(z);
+        let sim = g.matmul_bt(zn, zn);
+        let loss = g.cross_entropy(sim, std::rc::Rc::new((0..n).collect()));
+        let lv = g.value(loss).item();
+        let grads = g.backward(loss);
+        (lv, g.param_grads(&grads))
+    };
+
+    let (loss_f, grads_f) = run(true);
+    let (loss_c, grads_c) = run(false);
+    assert_eq!(loss_f, loss_c, "forward loss must be identical");
+    assert_eq!(grads_f.len(), grads_c.len());
+    for ((kf, gf), (kc, gc)) in grads_f.iter().zip(grads_c.iter()) {
+        assert_eq!(kf, kc);
+        for (a, b) in gf.data.iter().zip(gc.data.iter()) {
+            assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                "param {kf}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// Thread-count invariance: whatever `RAYON_NUM_THREADS` resolves to in
+/// this process, kernels must equal their scalar references (the CI
+/// matrix exercises 1 and many). Shapes here are deliberately above the
+/// `PAR_MIN_FLOPS` dispatch threshold (160^3 ≈ 4.1M multiply-adds; the
+/// SpMM touches ≈ 1.9M), so on multi-thread hosts this test pins the
+/// actual parallel row-partitioned code path, not the inline fallback.
+#[test]
+fn kernels_match_references_at_resolved_thread_count() {
+    let mut rng = StdRng::seed_from_u64(5150);
+    let a = Tensor::xavier(160, 160, &mut rng);
+    let b = Tensor::xavier(160, 160, &mut rng);
+    assert_eq!(a.matmul(&b).data, a.matmul_ref(&b).data);
+    assert_eq!(a.matmul_bt(&b).data, a.matmul_bt_ref(&b).data);
+    assert_eq!(a.matmul_at(&b).data, a.matmul_at_ref(&b).data);
+    let edges: Vec<(u32, u32)> = (0..4999u32).map(|i| (i, i + 1)).collect();
+    let adj = SparseMatrix::normalized_adjacency(5000, &edges);
+    let x = Tensor::xavier(5000, 128, &mut rng);
+    let y = adj.matmul(&x);
+    let triplets: Vec<(u32, u32, f32)> = (0..5000)
+        .flat_map(|i| adj.row_entries(i).map(move |(c, w)| (i as u32, c, w)))
+        .collect();
+    let y_ref = spmm_nested_ref(5000, &triplets, &x);
+    for (u, v) in y.data.iter().zip(y_ref.data.iter()) {
+        assert!((u - v).abs() < 1e-5);
+    }
+}

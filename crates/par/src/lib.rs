@@ -1,0 +1,211 @@
+//! # nettag-par — scoped-thread data parallelism
+//!
+//! The workspace's parallel substrate. The build environment cannot fetch
+//! `rayon`, so the hot kernels use these `std::thread::scope`-based
+//! helpers instead: contiguous range partitioning for owner-computes
+//! loops, disjoint `chunks_mut` partitioning for in-place kernels, and an
+//! indexed map. The API is deliberately rayon-shaped so a later PR can
+//! swap rayon in behind the same call sites.
+//!
+//! Thread count resolution (first set wins):
+//! 1. `RAYON_NUM_THREADS` (kept for operator familiarity)
+//! 2. `NETTAG_NUM_THREADS`
+//! 3. [`std::thread::available_parallelism`]
+//!
+//! With one thread every helper runs inline on the caller's stack — no
+//! spawn overhead, and bit-identical results to the parallel path because
+//! all helpers partition work so each output element is produced by
+//! exactly one thread with a fixed in-thread order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Set while this thread is executing inside a parallel region, so
+    /// nested helper calls run inline instead of spawning threads².
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with this thread marked as inside a parallel region.
+fn enter_region<R>(f: impl FnOnce() -> R) -> R {
+    IN_PARALLEL.with(|flag| {
+        let prev = flag.replace(true);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
+
+/// Effective worker count at this call site: 1 when already inside a
+/// parallel region (nested data parallelism serializes), else
+/// [`num_threads`].
+fn effective_threads() -> usize {
+    if IN_PARALLEL.with(Cell::get) {
+        1
+    } else {
+        num_threads()
+    }
+}
+
+/// Resolved worker-thread count for this process.
+///
+/// Reads `RAYON_NUM_THREADS` then `NETTAG_NUM_THREADS` (values `< 1` are
+/// ignored), falling back to the machine's available parallelism. Cached
+/// after the first call.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        for var in ["RAYON_NUM_THREADS", "NETTAG_NUM_THREADS"] {
+            if let Ok(v) = std::env::var(var) {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal
+/// length (the first `n % parts` ranges get one extra element). Empty
+/// ranges are not emitted.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Partitions a row-major buffer of `width`-wide rows into per-thread
+/// blocks of whole rows and calls `f(first_row, rows_chunk)` for each, in
+/// parallel. This is the owner-computes primitive behind the matmul and
+/// SpMM kernels: each thread exclusively owns the output rows it writes.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `width` (for `width > 0`).
+pub fn for_each_row_block_mut<T, F>(data: &mut [T], width: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if width == 0 || data.is_empty() {
+        return;
+    }
+    assert_eq!(data.len() % width, 0, "buffer is not row-aligned");
+    let rows = data.len() / width;
+    let threads = effective_threads();
+    if threads <= 1 || rows <= 1 {
+        f(0, data);
+        return;
+    }
+    let ranges = split_ranges(rows, threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        for r in &ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len() * width);
+            rest = tail;
+            let start_row = r.start;
+            let fr = &f;
+            scope.spawn(move || enter_region(|| fr(start_row, chunk)));
+        }
+    });
+}
+
+/// Parallel indexed map: computes `f(i)` for `i in 0..n`, returning the
+/// results in index order. Work is partitioned into contiguous ranges, so
+/// each `f(i)` runs exactly once and ordering is deterministic.
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads();
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let ranges = split_ranges(n, threads);
+    let mut parts: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let fr = &f;
+                let r = r.clone();
+                scope.spawn(move || enter_region(|| r.map(fr).collect::<Vec<T>>()))
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel map over a slice, preserving order.
+pub fn map_slice<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 16, 17, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(n, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let out = map_indexed(1000, |i| i * 3);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn map_slice_matches_serial() {
+        let items: Vec<i64> = (0..500).collect();
+        let par = map_slice(&items, |x| x * x);
+        let ser: Vec<i64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(par, ser);
+    }
+}

@@ -104,7 +104,10 @@ mod tests {
         n.add_gate("y", CellKind::Output, vec![r]);
         let n = n.validate().expect("valid");
         let a = measure_activity(&n, &ActivityConfig::default());
-        assert!(a.toggle_rate[r.index()] > 0.95, "toggle flop flips each cycle");
+        assert!(
+            a.toggle_rate[r.index()] > 0.95,
+            "toggle flop flips each cycle"
+        );
         assert!((a.probability[r.index()] - 0.5).abs() < 0.2);
     }
 
@@ -151,6 +154,9 @@ mod tests {
                 ..ActivityConfig::default()
             },
         );
-        assert!(a.probability[g.index()] < 0.3, "AND3 of random inputs is rarely 1");
+        assert!(
+            a.probability[g.index()] < 0.3,
+            "AND3 of random inputs is rarely 1"
+        );
     }
 }

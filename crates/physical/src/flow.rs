@@ -120,8 +120,8 @@ pub fn run_flow(netlist: &Netlist, lib: &Library, config: &FlowConfig) -> FlowOu
     let cts_area = n_cts_bufs * buf.area * 2.0;
     let clock_cap = regs * dff_cap + spine_wirelength * crate::parasitics::CAP_PER_UM;
     // Clock toggles twice per cycle (rise+fall): 2 × 1/2 C V² f.
-    let cts_power = clock_cap * config.power.vdd_sq * config.power.freq_ghz
-        + n_cts_bufs * buf.leakage * 2.0;
+    let cts_power =
+        clock_cap * config.power.vdd_sq * config.power.freq_ghz + n_cts_bufs * buf.leakage * 2.0;
     power.total += cts_power;
     let area = total_area(&working, lib) + cts_area;
     let layout = LayoutGraph::assemble(&working, &placement, &parasitics, &timing);

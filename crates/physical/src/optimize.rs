@@ -57,7 +57,11 @@ pub struct OptimizeOutcome {
 /// Gate *names* are preserved (new buffers get `pbuf` names), so labels
 /// keyed by name survive; gate ids shift only for inserted buffers, which
 /// are appended.
-pub fn optimize_physical(netlist: &Netlist, lib: &Library, config: &OptimizeConfig) -> OptimizeOutcome {
+pub fn optimize_physical(
+    netlist: &Netlist,
+    lib: &Library,
+    config: &OptimizeConfig,
+) -> OptimizeOutcome {
     let mut n = netlist.clone();
     let mut upsized = 0;
     let mut downsized = 0;
@@ -118,16 +122,11 @@ pub fn optimize_physical(netlist: &Netlist, lib: &Library, config: &OptimizeConf
 
 /// Combinational gates whose arrival is far below the worst arrival.
 fn slack_rich_gates(netlist: &Netlist, report: &TimingReport, margin: f64) -> Vec<GateId> {
-    let worst = report
-        .arrival
-        .iter()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let worst = report.arrival.iter().copied().fold(0.0f64, f64::max);
     netlist
         .ids()
         .filter(|&id| {
-            netlist.gate(id).kind.is_combinational()
-                && report.arrival[id.index()] < worst - margin
+            netlist.gate(id).kind.is_combinational() && report.arrival[id.index()] < worst - margin
         })
         .collect()
 }

@@ -60,7 +60,11 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlaceConfig) -> Placemen
     for (slot, &id) in order.iter().enumerate() {
         let row = slot / cols;
         let col_raw = slot % cols;
-        let col = if row % 2 == 0 { col_raw } else { cols - 1 - col_raw };
+        let col = if row.is_multiple_of(2) {
+            col_raw
+        } else {
+            cols - 1 - col_raw
+        };
         let jx: f64 = rng.gen_range(-0.25..0.25);
         let jy: f64 = rng.gen_range(-0.25..0.25);
         coords[id.index()] = (
@@ -163,8 +167,22 @@ mod tests {
     fn utilization_scales_die() {
         let n = chain(40);
         let lib = Library::default();
-        let tight = place(&n, &lib, &PlaceConfig { utilization: 0.9, seed: 1 });
-        let loose = place(&n, &lib, &PlaceConfig { utilization: 0.4, seed: 1 });
+        let tight = place(
+            &n,
+            &lib,
+            &PlaceConfig {
+                utilization: 0.9,
+                seed: 1,
+            },
+        );
+        let loose = place(
+            &n,
+            &lib,
+            &PlaceConfig {
+                utilization: 0.4,
+                seed: 1,
+            },
+        );
         assert!(loose.die > tight.die);
     }
 }

@@ -120,7 +120,12 @@ mod tests {
         let (busy, idle) = busy_and_idle();
         let pb = power_of(&busy);
         let pi = power_of(&idle);
-        assert!(pb.total > pi.total, "busy {} vs idle {}", pb.total, pi.total);
+        assert!(
+            pb.total > pi.total,
+            "busy {} vs idle {}",
+            pb.total,
+            pi.total
+        );
         // Idle design still leaks.
         assert!(pi.total > 0.0);
         assert!(pi.dynamic.iter().sum::<f64>() < 1e-9);
@@ -146,8 +151,26 @@ mod tests {
         let p = place(&busy, &lib, &PlaceConfig::default());
         let x = extract(&busy, &lib, &p);
         let a = measure_activity(&busy, &ActivityConfig::default());
-        let p1 = analyze_power(&busy, &lib, &x, &a, &PowerConfig { freq_ghz: 1.0, vdd_sq: 1.21 });
-        let p2 = analyze_power(&busy, &lib, &x, &a, &PowerConfig { freq_ghz: 2.0, vdd_sq: 1.21 });
+        let p1 = analyze_power(
+            &busy,
+            &lib,
+            &x,
+            &a,
+            &PowerConfig {
+                freq_ghz: 1.0,
+                vdd_sq: 1.21,
+            },
+        );
+        let p2 = analyze_power(
+            &busy,
+            &lib,
+            &x,
+            &a,
+            &PowerConfig {
+                freq_ghz: 2.0,
+                vdd_sq: 1.21,
+            },
+        );
         let d1: f64 = p1.dynamic.iter().sum();
         let d2: f64 = p2.dynamic.iter().sum();
         assert!((d2 / d1 - 2.0).abs() < 1e-9);

@@ -71,11 +71,7 @@ pub fn analyze_timing(
         arrival[id.index()] = match g.kind {
             CellKind::Input | CellKind::Const0 | CellKind::Const1 => 0.0,
             k if k.is_sequential() => config.clk_to_q,
-            CellKind::Output => g
-                .fanin
-                .first()
-                .map(|f| arrival[f.index()])
-                .unwrap_or(0.0),
+            CellKind::Output => g.fanin.first().map(|f| arrival[f.index()]).unwrap_or(0.0),
             _ => {
                 let worst_in = g
                     .fanin
@@ -89,11 +85,7 @@ pub fn analyze_timing(
     let mut endpoint_slack = HashMap::new();
     for r in netlist.registers() {
         let g = netlist.gate(r);
-        let d_arrival = g
-            .fanin
-            .first()
-            .map(|f| arrival[f.index()])
-            .unwrap_or(0.0);
+        let d_arrival = g.fanin.first().map(|f| arrival[f.index()]).unwrap_or(0.0);
         endpoint_slack.insert(r, config.clock_period - config.setup - d_arrival);
     }
     for o in netlist.outputs() {
@@ -119,7 +111,7 @@ pub fn analyze_timing(
 pub fn critical_gates(netlist: &Netlist, report: &TimingReport, margin: f64) -> Vec<GateId> {
     // Find worst endpoint arrival.
     let mut worst = 0.0f64;
-    for (&ep, _) in &report.endpoint_slack {
+    for &ep in report.endpoint_slack.keys() {
         let g = netlist.gate(ep);
         let a = if g.kind.is_sequential() {
             g.fanin

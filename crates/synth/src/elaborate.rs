@@ -60,7 +60,14 @@ pub fn elaborate(rtl: &RtlModule) -> Design {
     for (i, sig) in rtl.signals.iter().enumerate() {
         if sig.kind == SignalKind::Input {
             let bits: Vec<GateId> = (0..sig.width)
-                .map(|b| e.add(format!("{}_{b}", sig.name), CellKind::Input, vec![], GateLabel::default()))
+                .map(|b| {
+                    e.add(
+                        format!("{}_{b}", sig.name),
+                        CellKind::Input,
+                        vec![],
+                        GateLabel::default(),
+                    )
+                })
                 .collect();
             e.bits.insert(SignalId(i as u32), bits);
         }
@@ -116,7 +123,12 @@ pub fn elaborate(rtl: &RtlModule) -> Design {
             let z = e.zero();
             let bits = vec![z; sig.width as usize];
             for (b, &bit) in bits.iter().enumerate() {
-                e.add(format!("{}_{b}", sig.name), CellKind::Output, vec![bit], GateLabel::default());
+                e.add(
+                    format!("{}_{b}", sig.name),
+                    CellKind::Output,
+                    vec![bit],
+                    GateLabel::default(),
+                );
             }
             e.bits.insert(SignalId(i as u32), bits);
         }
@@ -173,7 +185,12 @@ impl Elaborator<'_> {
         if let Some(z) = self.const0 {
             return z;
         }
-        let z = self.add("const0".into(), CellKind::Const0, vec![], GateLabel::default());
+        let z = self.add(
+            "const0".into(),
+            CellKind::Const0,
+            vec![],
+            GateLabel::default(),
+        );
         self.const0 = Some(z);
         z
     }
@@ -182,7 +199,12 @@ impl Elaborator<'_> {
         if let Some(o) = self.const1 {
             return o;
         }
-        let o = self.add("const1".into(), CellKind::Const1, vec![], GateLabel::default());
+        let o = self.add(
+            "const1".into(),
+            CellKind::Const1,
+            vec![],
+            GateLabel::default(),
+        );
         self.const1 = Some(o);
         o
     }
@@ -263,7 +285,9 @@ impl Elaborator<'_> {
                 let xa = self.lower(a, w);
                 let xb = self.lower(b, w);
                 (0..w as usize)
-                    .map(|i| self.fresh(CellKind::Mux2, vec![xs, xa[i], xb[i]], BlockLabel::Control))
+                    .map(|i| {
+                        self.fresh(CellKind::Mux2, vec![xs, xa[i], xb[i]], BlockLabel::Control)
+                    })
                     .collect()
             }
             WordExpr::Shl(a, k) => {
@@ -394,12 +418,7 @@ mod tests {
     }
 
     /// Drives the gate-level netlist with word values and reads a word back.
-    fn run_netlist(
-        d: &Design,
-        inputs: &[(&str, u8, u64)],
-        out_name: &str,
-        out_width: u8,
-    ) -> u64 {
+    fn run_netlist(d: &Design, inputs: &[(&str, u8, u64)], out_name: &str, out_width: u8) -> u64 {
         let mut src = HashMap::new();
         for (name, width, value) in inputs {
             for b in 0..*width {
@@ -424,7 +443,11 @@ mod tests {
         out
     }
 
-    fn binop_module(f: impl Fn(Box<WordExpr>, Box<WordExpr>) -> WordExpr, w: u8, out_w: u8) -> Design {
+    fn binop_module(
+        f: impl Fn(Box<WordExpr>, Box<WordExpr>) -> WordExpr,
+        w: u8,
+        out_w: u8,
+    ) -> Design {
         let mut m = RtlModule::new("binop");
         let a = m.signal("a", w, SignalKind::Input);
         let b = m.signal("b", w, SignalKind::Input);
@@ -472,8 +495,14 @@ mod tests {
         let eq = binop_module(WordExpr::Eq, 4, 1);
         for a in 0..16u64 {
             for b in 0..16u64 {
-                assert_eq!(run_netlist(&lt, &[("a", 4, a), ("b", 4, b)], "y", 1), u64::from(a < b));
-                assert_eq!(run_netlist(&eq, &[("a", 4, a), ("b", 4, b)], "y", 1), u64::from(a == b));
+                assert_eq!(
+                    run_netlist(&lt, &[("a", 4, a), ("b", 4, b)], "y", 1),
+                    u64::from(a < b)
+                );
+                assert_eq!(
+                    run_netlist(&eq, &[("a", 4, a), ("b", 4, b)], "y", 1),
+                    u64::from(a == b)
+                );
             }
         }
     }
@@ -517,7 +546,10 @@ mod tests {
         let cnt = m.signal("cnt", 3, SignalKind::Reg);
         m.register(
             cnt,
-            WordExpr::Add(be(WordExpr::sig(cnt)), be(WordExpr::Const { value: 1, width: 3 })),
+            WordExpr::Add(
+                be(WordExpr::sig(cnt)),
+                be(WordExpr::Const { value: 1, width: 3 }),
+            ),
             None,
             true,
         );
@@ -571,7 +603,10 @@ mod tests {
         let t1 = m.signal("t1", 5, SignalKind::Wire);
         let t2 = m.signal("t2", 1, SignalKind::Wire);
         let y = m.signal("y", 5, SignalKind::Output);
-        m.assign(t1, WordExpr::Add(be(WordExpr::sig(a)), be(WordExpr::sig(b))));
+        m.assign(
+            t1,
+            WordExpr::Add(be(WordExpr::sig(a)), be(WordExpr::sig(b))),
+        );
         m.assign(t2, WordExpr::Lt(be(WordExpr::sig(a)), be(WordExpr::sig(b))));
         m.assign(
             y,

@@ -107,7 +107,12 @@ pub fn generate_design(family: Family, index: usize, seed: u64, config: &Generat
 }
 
 /// Generates the RTL module for a family instance.
-pub fn generate_rtl(family: Family, index: usize, rng: &mut StdRng, config: &GenerateConfig) -> RtlModule {
+pub fn generate_rtl(
+    family: Family,
+    index: usize,
+    rng: &mut StdRng,
+    config: &GenerateConfig,
+) -> RtlModule {
     let name = format!("{}_{index}", family.name().to_lowercase());
     let mut b = RtlBuilder::new(name, rng);
     let s = config.scale;
@@ -162,7 +167,7 @@ pub fn generate_rtl(family: Family, index: usize, rng: &mut StdRng, config: &Gen
 }
 
 fn scaled(base: usize, scale: f64, rng: &mut StdRng) -> usize {
-    let jitter = rng.gen_range(0..=1);
+    let jitter: usize = rng.gen_range(0..=1);
     ((base as f64 * scale).round() as usize + jitter).max(1)
 }
 
@@ -380,11 +385,19 @@ impl<'a> RtlBuilder<'a> {
         let and = self.wire(width, WordExpr::And(be(a), be(b)));
         let lo = self.wire(
             width,
-            WordExpr::Mux(be(op0.clone()), be(WordExpr::sig(add)), be(WordExpr::sig(sub))),
+            WordExpr::Mux(
+                be(op0.clone()),
+                be(WordExpr::sig(add)),
+                be(WordExpr::sig(sub)),
+            ),
         );
         let hi = self.wire(
             width,
-            WordExpr::Mux(be(op0.clone()), be(WordExpr::sig(xor)), be(WordExpr::sig(and))),
+            WordExpr::Mux(
+                be(op0.clone()),
+                be(WordExpr::sig(xor)),
+                be(WordExpr::sig(and)),
+            ),
         );
         let out = self.wire(
             width,
@@ -412,7 +425,7 @@ pub fn generate_gnnre_design(index: usize, seed: u64, width: u8) -> Design {
     b.compare_block(width);
     b.mux_network(width, 2 + index % 3);
     b.logic_cloud(width, 1 + index % 2);
-    if index % 2 == 0 {
+    if index.is_multiple_of(2) {
         b.arith_block(width.saturating_sub(1).max(2), false);
     }
     if index % 4 == 1 {

@@ -212,7 +212,13 @@ impl RtlModule {
     }
 
     /// Adds a registered update.
-    pub fn register(&mut self, target: SignalId, next: WordExpr, enable: Option<WordExpr>, is_state: bool) {
+    pub fn register(
+        &mut self,
+        target: SignalId,
+        next: WordExpr,
+        enable: Option<WordExpr>,
+        is_state: bool,
+    ) {
         self.regs.push(RegUpdate {
             target,
             next,
@@ -252,7 +258,12 @@ impl RtlModule {
             let _ = writeln!(s, "  {kw} {range}{};", x.name);
         }
         for a in &self.assigns {
-            let _ = writeln!(s, "  assign {} = {};", self.sig(a.target).name, self.render_expr(&a.expr));
+            let _ = writeln!(
+                s,
+                "  assign {} = {};",
+                self.sig(a.target).name,
+                self.render_expr(&a.expr)
+            );
         }
         if !self.regs.is_empty() {
             let _ = writeln!(s, "  always @(posedge clk) begin");
@@ -353,15 +364,24 @@ impl RtlModule {
             WordExpr::Const { value, width } => value & mask(*width),
             WordExpr::Add(a, b) => {
                 let w = self.expr_width(a).max(self.expr_width(b));
-                (self.eval_expr(a, values).wrapping_add(self.eval_expr(b, values))) & mask(w)
+                (self
+                    .eval_expr(a, values)
+                    .wrapping_add(self.eval_expr(b, values)))
+                    & mask(w)
             }
             WordExpr::Sub(a, b) => {
                 let w = self.expr_width(a).max(self.expr_width(b));
-                (self.eval_expr(a, values).wrapping_sub(self.eval_expr(b, values))) & mask(w)
+                (self
+                    .eval_expr(a, values)
+                    .wrapping_sub(self.eval_expr(b, values)))
+                    & mask(w)
             }
             WordExpr::Mul(a, b) => {
                 let w = self.expr_width(a).max(self.expr_width(b));
-                (self.eval_expr(a, values).wrapping_mul(self.eval_expr(b, values))) & mask(w)
+                (self
+                    .eval_expr(a, values)
+                    .wrapping_mul(self.eval_expr(b, values)))
+                    & mask(w)
             }
             WordExpr::Lt(a, b) => u64::from(self.eval_expr(a, values) < self.eval_expr(b, values)),
             WordExpr::Eq(a, b) => u64::from(self.eval_expr(a, values) == self.eval_expr(b, values)),
@@ -376,9 +396,7 @@ impl RtlModule {
                     self.eval_expr(b, values)
                 }
             }
-            WordExpr::Shl(a, k) => {
-                (self.eval_expr(a, values) << k) & mask(self.expr_width(a))
-            }
+            WordExpr::Shl(a, k) => (self.eval_expr(a, values) << k) & mask(self.expr_width(a)),
             WordExpr::Shr(a, k) => self.eval_expr(a, values) >> k,
         }
     }
@@ -420,13 +438,22 @@ mod tests {
         let b = m.signal("b", 4, SignalKind::Input);
         let sum = m.signal("sum", 4, SignalKind::Wire);
         let out = m.signal("out", 4, SignalKind::Output);
-        m.assign(sum, WordExpr::Add(Box::new(WordExpr::sig(a)), Box::new(WordExpr::sig(b))));
+        m.assign(
+            sum,
+            WordExpr::Add(Box::new(WordExpr::sig(a)), Box::new(WordExpr::sig(b))),
+        );
         m.assign(
             out,
             WordExpr::Mux(
-                Box::new(WordExpr::Lt(Box::new(WordExpr::sig(a)), Box::new(WordExpr::sig(b)))),
+                Box::new(WordExpr::Lt(
+                    Box::new(WordExpr::sig(a)),
+                    Box::new(WordExpr::sig(b)),
+                )),
                 Box::new(WordExpr::sig(sum)),
-                Box::new(WordExpr::Xor(Box::new(WordExpr::sig(a)), Box::new(WordExpr::sig(b)))),
+                Box::new(WordExpr::Xor(
+                    Box::new(WordExpr::sig(a)),
+                    Box::new(WordExpr::sig(b)),
+                )),
             ),
         );
         (m, a, b, sum, out)

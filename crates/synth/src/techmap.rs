@@ -18,7 +18,11 @@ use std::collections::HashMap;
 /// Rebuilds a design keeping only `keep` gates, following `redirect` edges
 /// (a gate whose output is now provided by another gate). Dangling
 /// references are resolved transitively.
-fn rebuild(design: &Design, redirect: &HashMap<GateId, GateId>, keep: impl Fn(GateId) -> bool) -> Design {
+fn rebuild(
+    design: &Design,
+    redirect: &HashMap<GateId, GateId>,
+    keep: impl Fn(GateId) -> bool,
+) -> Design {
     let resolve = |mut id: GateId| {
         let mut guard = 0;
         while let Some(&next) = redirect.get(&id) {
@@ -46,7 +50,9 @@ fn rebuild(design: &Design, redirect: &HashMap<GateId, GateId>, keep: impl Fn(Ga
         let fanin: Vec<GateId> = g.fanin.iter().map(|&f| map[&resolve(f)]).collect();
         netlist.gate_mut(new).fanin = fanin;
     }
-    let netlist = netlist.validate().expect("rebuild preserves well-formedness");
+    let netlist = netlist
+        .validate()
+        .expect("rebuild preserves well-formedness");
     Design {
         netlist,
         labels,
@@ -84,8 +90,14 @@ pub fn fold_constants(design: &Design) -> Design {
     // Constant analysis in topo order: Some(bool) when output is constant.
     let order = nettag_netlist::topo_order(n);
     let mut konst: Vec<Option<bool>> = vec![None; n.gate_count()];
-    let const0 = n.iter().find(|(_, g)| g.kind == CellKind::Const0).map(|(id, _)| id);
-    let const1 = n.iter().find(|(_, g)| g.kind == CellKind::Const1).map(|(id, _)| id);
+    let const0 = n
+        .iter()
+        .find(|(_, g)| g.kind == CellKind::Const0)
+        .map(|(id, _)| id);
+    let const1 = n
+        .iter()
+        .find(|(_, g)| g.kind == CellKind::Const1)
+        .map(|(id, _)| id);
     for &id in &order {
         let g = n.gate(id);
         konst[id.index()] = match g.kind {
@@ -183,7 +195,10 @@ pub fn infer_complex_cells(design: &Design) -> Design {
         let (new_kind, fanin) = match mg.kind {
             CellKind::Or2 => {
                 let (x, y) = (mg.fanin[0], mg.fanin[1]);
-                match (classify_and(n, x, &single_fanout), classify_and(n, y, &single_fanout)) {
+                match (
+                    classify_and(n, x, &single_fanout),
+                    classify_and(n, y, &single_fanout),
+                ) {
                     (Some((a, b)), Some((c, d))) => (CellKind::Aoi22, vec![a, b, c, d]),
                     (Some((a, b)), None) => (CellKind::Aoi21, vec![a, b, y]),
                     (None, Some((c, d))) => (CellKind::Aoi21, vec![c, d, x]),
@@ -192,7 +207,10 @@ pub fn infer_complex_cells(design: &Design) -> Design {
             }
             CellKind::And2 => {
                 let (x, y) = (mg.fanin[0], mg.fanin[1]);
-                match (classify_or(n, x, &single_fanout), classify_or(n, y, &single_fanout)) {
+                match (
+                    classify_or(n, x, &single_fanout),
+                    classify_or(n, y, &single_fanout),
+                ) {
                     (Some((a, b)), Some((c, d))) => (CellKind::Oai22, vec![a, b, c, d]),
                     (Some((a, b)), None) => (CellKind::Oai21, vec![a, b, y]),
                     (None, Some((c, d))) => (CellKind::Oai21, vec![c, d, x]),
@@ -208,12 +226,20 @@ pub fn infer_complex_cells(design: &Design) -> Design {
     sweep_dead(&out)
 }
 
-fn classify_and(n: &Netlist, id: GateId, single: &impl Fn(GateId) -> bool) -> Option<(GateId, GateId)> {
+fn classify_and(
+    n: &Netlist,
+    id: GateId,
+    single: &impl Fn(GateId) -> bool,
+) -> Option<(GateId, GateId)> {
     let g = n.gate(id);
     (g.kind == CellKind::And2 && single(id)).then(|| (g.fanin[0], g.fanin[1]))
 }
 
-fn classify_or(n: &Netlist, id: GateId, single: &impl Fn(GateId) -> bool) -> Option<(GateId, GateId)> {
+fn classify_or(
+    n: &Netlist,
+    id: GateId,
+    single: &impl Fn(GateId) -> bool,
+) -> Option<(GateId, GateId)> {
     let g = n.gate(id);
     (g.kind == CellKind::Or2 && single(id)).then(|| (g.fanin[0], g.fanin[1]))
 }
@@ -284,9 +310,7 @@ struct NandBuilder<'a> {
 impl NandBuilder<'_> {
     fn gate(&mut self, kind: CellKind, fanin: Vec<GateId>) -> GateId {
         *self.fresh += 1;
-        let id = self
-            .net
-            .add_gate(format!("um{}", *self.fresh), kind, fanin);
+        let id = self.net.add_gate(format!("um{}", *self.fresh), kind, fanin);
         self.labels.push(self.label);
         id
     }
@@ -356,7 +380,12 @@ impl NandBuilder<'_> {
             }
             CellKind::Nand3 | CellKind::Nand4 => {
                 let head = self.and_tree(&fanin[..fanin.len() - 1]);
-                set(self.net, target, CellKind::Nand2, vec![head, fanin[fanin.len() - 1]]);
+                set(
+                    self.net,
+                    target,
+                    CellKind::Nand2,
+                    vec![head, fanin[fanin.len() - 1]],
+                );
             }
             CellKind::Or2 | CellKind::Or3 | CellKind::Or4 => {
                 let rest = self.or_tree(&fanin[..fanin.len() - 1]);
@@ -467,7 +496,12 @@ fn commute_random_pins(d: &Design, rng: &mut StdRng) -> Design {
     let cands = candidates(d, |k| {
         matches!(
             k,
-            CellKind::And2 | CellKind::Or2 | CellKind::Nand2 | CellKind::Nor2 | CellKind::Xor2 | CellKind::Xnor2
+            CellKind::And2
+                | CellKind::Or2
+                | CellKind::Nand2
+                | CellKind::Nor2
+                | CellKind::Xor2
+                | CellKind::Xnor2
         )
     });
     let Some(&id) = cands.as_slice().choose(rng) else {
@@ -545,9 +579,11 @@ fn insert_buffer(d: &Design, rng: &mut StdRng) -> Design {
     }
     let label = out.labels[id.index()];
     let pin = rng.gen_range(0..g.fanin.len());
-    let buf = out
-        .netlist
-        .add_gate(format!("{}_b{pin}", g.name), CellKind::Buf, vec![g.fanin[pin]]);
+    let buf = out.netlist.add_gate(
+        format!("{}_b{pin}", g.name),
+        CellKind::Buf,
+        vec![g.fanin[pin]],
+    );
     out.labels.push(label);
     out.netlist.gate_mut(id).fanin[pin] = buf;
     out.netlist.rebuild_fanout();
@@ -608,8 +644,8 @@ pub fn check_equivalent_random(a: &Design, b: &Design, cycles: usize, rng: &mut 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::elaborate::GateLabel;
     use crate::elaborate::elaborate;
+    use crate::elaborate::GateLabel;
     use crate::rtl::{RtlModule, SignalKind, WordExpr};
     use rand::SeedableRng;
 
@@ -624,7 +660,10 @@ mod tests {
         let acc = m.signal("acc", 4, SignalKind::Reg);
         let y = m.signal("y", 4, SignalKind::Output);
         let sum = m.signal("sum", 4, SignalKind::Wire);
-        m.assign(sum, WordExpr::Add(be(WordExpr::sig(a)), be(WordExpr::sig(b))));
+        m.assign(
+            sum,
+            WordExpr::Add(be(WordExpr::sig(a)), be(WordExpr::sig(b))),
+        );
         m.assign(
             y,
             WordExpr::Mux(
@@ -654,7 +693,10 @@ mod tests {
         let y = m.signal("y", 1, SignalKind::Output);
         m.assign(
             y,
-            WordExpr::And(be(WordExpr::sig(a)), be(WordExpr::Const { value: 0, width: 1 })),
+            WordExpr::And(
+                be(WordExpr::sig(a)),
+                be(WordExpr::Const { value: 0, width: 1 }),
+            ),
         );
         let d = elaborate(&m);
         let folded = fold_constants(&d);

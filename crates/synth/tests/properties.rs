@@ -35,11 +35,7 @@ fn arb_rtl() -> impl Strategy<Value = RtlModule> {
                 4 => WordExpr::Or(be(x), be(y)),
                 5 => WordExpr::Xor(be(x), be(y)),
                 6 => WordExpr::Not(be(x)),
-                _ => WordExpr::Mux(
-                    be(WordExpr::Lt(be(x.clone()), be(y.clone()))),
-                    be(x),
-                    be(y),
-                ),
+                _ => WordExpr::Mux(be(WordExpr::Lt(be(x.clone()), be(y.clone()))), be(x), be(y)),
             };
             let w = m.expr_width(&expr);
             let wire = m.signal(format!("w{i}"), w, SignalKind::Wire);

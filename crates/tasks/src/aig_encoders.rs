@@ -273,7 +273,11 @@ mod tests {
         for (_, g) in s.netlist.iter() {
             assert!(matches!(
                 g.kind,
-                CellKind::And2 | CellKind::Inv | CellKind::Input | CellKind::Output | CellKind::Const0
+                CellKind::And2
+                    | CellKind::Inv
+                    | CellKind::Input
+                    | CellKind::Output
+                    | CellKind::Const0
             ));
         }
     }

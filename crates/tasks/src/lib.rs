@@ -18,7 +18,9 @@ pub mod task2;
 pub mod task3;
 pub mod task4;
 
-pub use gnn::{structural_features, GnnConfig, GnnEncoder, GnnGraph, GnnGraphModel, GnnNodeClassifier};
+pub use gnn::{
+    structural_features, GnnConfig, GnnEncoder, GnnGraph, GnnGraphModel, GnnNodeClassifier,
+};
 pub use metrics::{
     classification_metrics, regression_metrics, sensitivity_metrics, BinarySensitivity,
     Classification, Regression,

@@ -33,10 +33,17 @@ pub fn classification_metrics(pred: &[usize], truth: &[usize], classes: usize) -
     let mut precisions = Vec::new();
     let mut recalls = Vec::new();
     let mut f1s = Vec::new();
+    #[allow(clippy::needless_range_loop)]
     for c in 0..classes {
         let tp = confusion[c][c];
-        let fp: usize = (0..classes).filter(|&t| t != c).map(|t| confusion[t][c]).sum();
-        let fn_: usize = (0..classes).filter(|&p| p != c).map(|p| confusion[c][p]).sum();
+        let fp: usize = (0..classes)
+            .filter(|&t| t != c)
+            .map(|t| confusion[t][c])
+            .sum();
+        let fn_: usize = (0..classes)
+            .filter(|&p| p != c)
+            .map(|p| confusion[c][p])
+            .sum();
         let support = tp + fn_;
         if support == 0 {
             continue; // class absent from the evaluation set
@@ -93,7 +100,11 @@ pub fn sensitivity_metrics(pred: &[bool], truth: &[bool]) -> BinarySensitivity {
             (false, true) => fp += 1.0,
         }
     }
-    let tpr = if tp + fn_ == 0.0 { 1.0 } else { tp / (tp + fn_) };
+    let tpr = if tp + fn_ == 0.0 {
+        1.0
+    } else {
+        tp / (tp + fn_)
+    };
     let tnr = if tn + fp == 0.0 { 1.0 } else { tn / (tn + fp) };
     BinarySensitivity {
         sensitivity: tpr,

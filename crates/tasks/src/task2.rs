@@ -41,7 +41,11 @@ pub fn register_samples(model: &NetTag, design: &Design, lib: &Library) -> Regis
         }
         features.push(
             model
-                .embed_tag(&nettag_netlist::Tag::from_netlist(&sub, lib, &model.tag_options()))
+                .embed_tag(&nettag_netlist::Tag::from_netlist(
+                    &sub,
+                    lib,
+                    &model.tag_options(),
+                ))
                 .pooled(),
         );
         graphs.push(cone_graph(&sub, lib));
@@ -187,7 +191,10 @@ mod tests {
             ..GenerateConfig::default()
         };
         let designs = vec![
-            ("a".to_string(), generate_design(Family::VexRiscv, 0, 3, &gen)),
+            (
+                "a".to_string(),
+                generate_design(Family::VexRiscv, 0, 3, &gen),
+            ),
             ("b".to_string(), generate_design(Family::Itc99, 0, 3, &gen)),
         ];
         let ft = FinetuneConfig {

@@ -127,7 +127,11 @@ pub fn run_task3(
             .into_iter()
             .map(f64::from)
             .collect();
-        let truth: Vec<f64> = samples[test].targets.iter().map(|&t| f64::from(t)).collect();
+        let truth: Vec<f64> = samples[test]
+            .targets
+            .iter()
+            .map(|&t| f64::from(t))
+            .collect();
         let nettag_m = regression_metrics(&pred, &truth);
         let gnn_model = GnnGraphModel::train_regression(&train_graphs, &train_targets, gnn);
         let gpred: Vec<f64> = gnn_model
@@ -180,8 +184,14 @@ mod tests {
             ..GenerateConfig::default()
         };
         let designs = vec![
-            ("a".to_string(), generate_design(Family::VexRiscv, 0, 3, &gen)),
-            ("b".to_string(), generate_design(Family::Chipyard, 0, 3, &gen)),
+            (
+                "a".to_string(),
+                generate_design(Family::VexRiscv, 0, 3, &gen),
+            ),
+            (
+                "b".to_string(),
+                generate_design(Family::Chipyard, 0, 3, &gen),
+            ),
         ];
         let ft = FinetuneConfig {
             epochs: 20,

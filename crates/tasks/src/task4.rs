@@ -99,12 +99,8 @@ pub fn ppa_samples(model: &NetTag, designs: &[Design], lib: &Library) -> PpaSamp
                 ..FlowConfig::default()
             },
         );
-        out.labels.push([
-            base.area,
-            opt.area,
-            base.power.total,
-            opt.power.total,
-        ]);
+        out.labels
+            .push([base.area, opt.area, base.power.total, opt.power.total]);
         out.names.push(d.netlist.name().to_string());
     }
     out
@@ -131,11 +127,7 @@ pub struct Task4Report {
 }
 
 /// Runs Task 4 with a deterministic train/test split (2/3 train).
-pub fn run_task4(
-    samples: &PpaSamples,
-    finetune: &FinetuneConfig,
-    gnn: &GnnConfig,
-) -> Task4Report {
+pub fn run_task4(samples: &PpaSamples, finetune: &FinetuneConfig, gnn: &GnnConfig) -> Task4Report {
     let n = samples.labels.len();
     assert!(n >= 6, "need at least 6 designs for a meaningful split");
     let test_idx: Vec<usize> = (0..n).filter(|i| i % 3 == 2).collect();

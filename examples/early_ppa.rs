@@ -34,7 +34,11 @@ fn main() {
     ] {
         let d = generate_design(fam, idx, 11, &gen);
         let s = slack_samples(&model, &d, &lib, &FlowConfig::default());
-        println!("  {:<12} {:>3} register endpoints", d.netlist.name(), s.targets.len());
+        println!(
+            "  {:<12} {:>3} register endpoints",
+            d.netlist.name(),
+            s.targets.len()
+        );
         train_x.extend(s.features);
         train_y.extend(s.targets);
     }
@@ -53,7 +57,11 @@ fn main() {
         fresh.netlist.gate_count()
     );
     let s = slack_samples(&model, &fresh, &lib, &FlowConfig::default());
-    let pred: Vec<f64> = head.predict(&s.features).into_iter().map(f64::from).collect();
+    let pred: Vec<f64> = head
+        .predict(&s.features)
+        .into_iter()
+        .map(f64::from)
+        .collect();
     let truth: Vec<f64> = s.targets.iter().map(|&t| f64::from(t)).collect();
     let m = regression_metrics(&pred, &truth);
     println!("  slack prediction: R = {:.2}, MAPE = {:.0}%", m.r, m.mape);
@@ -71,8 +79,14 @@ fn main() {
     );
     let synth_area = nettag::physical::total_area(&fresh.netlist, &lib);
     println!("  synthesis area estimate : {synth_area:>9.1} um^2");
-    println!("  layout area w/o opt     : {:>9.1} um^2 (incl. clock tree)", base.area);
-    println!("  layout area w/  opt     : {:>9.1} um^2 (after sizing/buffers)", opt.area);
+    println!(
+        "  layout area w/o opt     : {:>9.1} um^2 (incl. clock tree)",
+        base.area
+    );
+    println!(
+        "  layout area w/  opt     : {:>9.1} um^2 (after sizing/buffers)",
+        opt.area
+    );
     println!("  layout power w/o opt    : {:>9.1} uW", base.power.total);
     println!("  layout power w/  opt    : {:>9.1} uW", opt.power.total);
     println!("  worst slack w/o opt     : {:>9.3} ns", base.timing.wns);

@@ -26,7 +26,10 @@ fn main() {
     for line in verilog.lines().take(14) {
         println!("  {line}");
     }
-    println!("  ... ({} more lines)\n", verilog.lines().count().saturating_sub(14));
+    println!(
+        "  ... ({} more lines)\n",
+        verilog.lines().count().saturating_sub(14)
+    );
 
     println!("== reading WITHOUT NetTAG annotations ==\n");
     println!("  \"The design seems to conditionally combine bits using logical");

@@ -27,7 +27,11 @@ fn main() {
         train_x.extend(s.features);
         train_y.extend(s.labels);
     }
-    println!("  {} labeled gates across {} designs", train_x.len(), train_designs.len());
+    println!(
+        "  {} labeled gates across {} designs",
+        train_x.len(),
+        train_designs.len()
+    );
 
     let head = ClassifierHead::train(
         &train_x,
@@ -64,7 +68,11 @@ fn main() {
         .filter(|(id, _)| unknown.labels[id.index()].block.is_some())
         .map(|(id, g)| (id, g.name.clone(), g.kind))
         .collect();
-    for (k, (id, name, kind)) in labeled_ids.iter().enumerate().step_by(labeled_ids.len() / 8 + 1) {
+    for (k, (id, name, kind)) in labeled_ids
+        .iter()
+        .enumerate()
+        .step_by(labeled_ids.len() / 8 + 1)
+    {
         let truth = unknown.labels[id.index()].block.expect("labeled");
         let guess = ALL_BLOCK_LABELS[pred[k]];
         println!(

@@ -1,0 +1,405 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use — `Strategy` with `prop_map`/`prop_recursive`,
+//! `prop::collection::vec`, range and tuple strategies, `any`,
+//! `prop_oneof!`, and the `proptest!`/`prop_assert!` macros — as a
+//! deterministic seeded-case harness. Unlike real proptest there is no
+//! shrinking: a failing case reports its inputs via the assert message
+//! and its case index (seeds are fixed per case index, so failures
+//! reproduce exactly).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// Test-case failure carrying a message (returned by `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a reason.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy: Clone + 'static {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        U: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng| f(inner.sample(rng)))
+    }
+
+    /// Recursive strategy: `f` receives the strategy built so far and
+    /// wraps it one level deeper; recursion depth is capped at `depth`.
+    /// (`_max_nodes` / `_items_per_collection` are accepted for API
+    /// parity but the depth cap alone bounds size here.)
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _max_nodes: u32,
+        _items_per_collection: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(strat).boxed();
+            let l = leaf.clone();
+            strat = BoxedStrategy::new(move |rng| {
+                // Bias toward recursion so deep cases actually occur while
+                // leaves keep the expected size bounded.
+                if rng.gen_bool(0.25) {
+                    l.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            });
+        }
+        strat
+    }
+
+    /// Type-erased form of this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng| inner.sample(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut StdRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Builds a strategy from a sampling closure.
+    pub fn new(f: impl Fn(&mut StdRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { sample: Rc::new(f) }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Full-domain strategy for a type (see [`any`]).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        any()
+    }
+}
+
+/// Strategy over a type's whole domain (`any::<u64>()`, `any::<bool>()`).
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! any_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+any_strategy!(u32, u64, bool, f32, f64);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+
+    /// Sizes accepted by [`vec`]: a fixed length or a length range.
+    pub trait IntoSize: Clone + 'static {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut rand::rngs::StdRng) -> usize;
+    }
+
+    impl IntoSize for usize {
+        fn pick(&self, _rng: &mut rand::rngs::StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSize for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut rand::rngs::StdRng) -> usize {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing vectors of `elem`-generated items.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSize) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| elem.sample(rng)).collect()
+        })
+    }
+}
+
+/// One-of-N strategy union used by `prop_oneof!`.
+pub fn union<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    BoxedStrategy::new(move |rng| {
+        let i = rng.gen_range(0..options.len());
+        options[i].sample(rng)
+    })
+}
+
+/// Per-case RNG: fixed per `(test, case)` so failures reproduce.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, BoxedStrategy, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a proptest body, returning a
+/// [`TestCaseError`] (not panicking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Chooses among strategies with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` runs
+/// `config.cases` seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)*
+                let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = __result {
+                    panic!("proptest case {__case} of {} failed: {e}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    (cfg = $cfg:expr;) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_compose(x in 1u32..10, pair in (0usize..4, -1.0f32..1.0)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_and_map_work(v in prop::collection::vec(0u8..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(bool),
+            Node(Vec<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(ns) => 1 + ns.iter().map(size).sum::<usize>(),
+            }
+        }
+        let leaf = prop_oneof![any::<bool>().prop_map(Tree::Leaf)];
+        let strat = leaf.prop_recursive(4, 48, 3, |inner| {
+            prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::case_rng("recursive", 0);
+        let mut max = 0;
+        for _ in 0..200 {
+            max = max.max(size(&strat.sample(&mut rng)));
+        }
+        assert!(max > 1, "recursion must sometimes occur");
+        assert!(max < 200, "recursion must stay bounded");
+    }
+}

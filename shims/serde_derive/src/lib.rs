@@ -1,0 +1,432 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace `serde` shim without `syn`/`quote`: the item is parsed
+//! directly from the raw token stream (attributes skipped, field and
+//! variant names collected) and the impl is emitted as formatted source.
+//! Supports the shapes this workspace uses: named-field structs, tuple
+//! structs, unit structs, and enums with unit / tuple / struct variants.
+//! Generic types are rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree lowering) for a type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => struct_serialize(name, fields),
+        Item::Enum { name, variants } => enum_serialize(name, variants),
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree reconstruction) for a type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => struct_deserialize(name, fields),
+        Item::Enum { name, variants } => enum_deserialize(name, variants),
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (type `{name}`)");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde shim derive: unsupported struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+/// Advances past leading `#[...]` attributes (incl. doc comments) and a
+/// `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collects field names from a named-struct body, splitting on top-level
+/// commas (tracking `<...>` depth so generic argument commas don't split).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        names.push(name);
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde shim derive: expected `:` after field name"
+        );
+        i += 1;
+        // Consume the type: everything until a comma at angle depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts fields in a tuple body (top-level commas at angle depth 0).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_item_after_comma = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_item_after_comma = false;
+            }
+            _ => saw_item_after_comma = true,
+        }
+    }
+    if !saw_item_after_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip a separating comma (explicit discriminants are unsupported
+        // and would have tripped the match above).
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array()?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::Error::custom(\
+                         \"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("::core::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => {
+                    format!("{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),")
+                }
+                Fields::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Value::Object(vec![\
+                         (\"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "\"{0}\" => ::core::result::Result::Ok({name}::{0}),",
+                v.name
+            )
+        })
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Tuple(1) => format!(
+                    "\"{vname}\" => ::core::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_value(_payload)?)),"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{\n\
+                             let items = _payload.as_array()?;\n\
+                             if items.len() != {n} {{\n\
+                                 return ::core::result::Result::Err(::serde::Error::custom(\
+                                     \"wrong arity for {name}::{vname}\"));\n\
+                             }}\n\
+                             ::core::result::Result::Ok({name}::{vname}({}))\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(_payload.field(\"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vname}\" => ::core::result::Result::Ok(\
+                             {name}::{vname} {{ {} }}),",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => unreachable!("filtered above"),
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {units}\n\
+                         __other => ::core::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, _payload) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {payloads}\n\
+                             __other => ::core::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::core::result::Result::Err(::serde::Error::custom(\
+                         format!(\"bad {name} representation: {{:?}}\", __other))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        units = unit_arms.join("\n"),
+        payloads = payload_arms.join("\n")
+    )
+}

@@ -4,7 +4,9 @@
 //! augmentation must preserve Boolean semantics. These invariants are what
 //! make the contrastive "positives" of the pre-training objectives sound.
 
-use nettag::expr::{augment_equivalent, equivalent, AugmentConfig, RandomExprConfig, RandomExprGen};
+use nettag::expr::{
+    augment_equivalent, equivalent, AugmentConfig, RandomExprConfig, RandomExprGen,
+};
 use nettag::synth::{
     check_equivalent_random, generate_design, optimize, restructure_equivalent, Family,
     GenerateConfig,

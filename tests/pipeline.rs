@@ -64,7 +64,14 @@ fn full_pipeline_runs_all_four_tasks() {
     assert!(!t2.rows.is_empty());
     assert!(t2.avg_nettag.balanced_accuracy > 0.0);
 
-    let t3 = run_task3(&model, &suite.task23, &suite.lib, &ft, &gnn, &FlowConfig::default());
+    let t3 = run_task3(
+        &model,
+        &suite.task23,
+        &suite.lib,
+        &ft,
+        &gnn,
+        &FlowConfig::default(),
+    );
     assert!(!t3.rows.is_empty());
     assert!(t3.avg_nettag.mape.is_finite());
 
