@@ -7,6 +7,11 @@
 //! * SpMM on a 10k-node / 40k-edge normalized adjacency (CSR vs nested)
 //! * autograd backward pass on an MLP step (in-place accumulation)
 //! * one TAGFormer-style fused forward+backward step
+//! * the `train_step` group: full data-parallel optimization steps
+//!   (per-sample tapes + deterministic reduction) against their serial
+//!   single-thread references, at step-1 and step-2 batch shapes —
+//!   for these entries `seed_seconds` records the serial reference, so
+//!   `speedup` is the data-parallel term directly
 //!
 //! Run with `cargo bench -p nettag-bench --bench kernels`. Thread count
 //! follows `RAYON_NUM_THREADS` / `NETTAG_NUM_THREADS`. Results (and the
@@ -14,10 +19,14 @@
 //! `BENCH_kernels.json` in the working directory so future performance
 //! PRs have a trajectory to beat.
 
-use nettag_nn::{Graph, Mlp, SparseMatrix, Tensor};
+use nettag_nn::{
+    data_parallel, info_nce, weighted_sum, GradStore, Graph, Mlp, NodeId, Param, SampleTape,
+    SparseMatrix, Tensor,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Seed-replica dense matmul: i-k-j loops with the original zero-skip
@@ -157,7 +166,7 @@ fn main() {
     let gn = 256;
     let gd = 64;
     let gedges: Vec<(u32, u32)> = (0..gn as u32 - 1).map(|i| (i, i + 1)).collect();
-    let gadj = std::rc::Rc::new(SparseMatrix::normalized_adjacency(gn, &gedges));
+    let gadj = std::sync::Arc::new(SparseMatrix::normalized_adjacency(gn, &gedges));
     let feats = Tensor::xavier(gn, gd, &mut rng);
     let w = Tensor::xavier(gd, gd, &mut rng);
     let bias = Tensor::xavier(1, gd, &mut rng);
@@ -179,6 +188,119 @@ fn main() {
         seed_seconds: None,
     });
 
+    // --- train_step group: data-parallel vs serial single-thread ------
+    // Step-1 shape: a contrastive batch of anchor/positive encoder pairs
+    // joined by InfoNCE. `seed_seconds` here is the serial reference
+    // (identical tapes and reduction, plain loops), so `speedup` is the
+    // data-parallel term directly.
+    let s1_batch = 8;
+    let enc = Mlp::new(&[96, 192, 192, 64], &mut rng);
+    let s1_pairs: Vec<(Tensor, Tensor)> = (0..s1_batch)
+        .map(|_| {
+            (
+                Tensor::xavier(24, 96, &mut rng),
+                Tensor::xavier(24, 96, &mut rng),
+            )
+        })
+        .collect();
+    let step1 = |serial: bool, store: &mut GradStore| {
+        let build = |i: usize| {
+            let mut g = Graph::new();
+            let a_in = g.constant(s1_pairs[i].0.clone());
+            let p_in = g.constant(s1_pairs[i].1.clone());
+            let a_seq = enc.forward(&mut g, a_in);
+            let p_seq = enc.forward(&mut g, p_in);
+            let a = g.mean_rows(a_seq);
+            let p = g.mean_rows(p_seq);
+            SampleTape {
+                graph: g,
+                outputs: vec![a, p],
+            }
+        };
+        let combine = |g: &mut Graph, leaves: &[Vec<NodeId>]| {
+            let a_rows: Vec<NodeId> = leaves.iter().map(|l| l[0]).collect();
+            let p_rows: Vec<NodeId> = leaves.iter().map(|l| l[1]).collect();
+            let a = g.stack_rows(&a_rows);
+            let p = g.stack_rows(&p_rows);
+            info_nce(g, a, p, 0.1)
+        };
+        if serial {
+            data_parallel::step_serial(s1_batch, build, combine, store)
+        } else {
+            data_parallel::step(s1_batch, build, combine, store)
+        }
+    };
+    let mut store = GradStore::new();
+    let t_par = time_it(|| step1(false, &mut store));
+    let t_ser = time_it(|| step1(true, &mut store));
+    entries.push(Entry {
+        name: "train_step_contrastive_b8",
+        seconds: t_par,
+        seed_seconds: Some(t_ser),
+    });
+
+    // Step-2 shape: per-sample graph tapes (SpMM + fused linear+ReLU +
+    // layer_norm) with an auxiliary scalar, combined through a central
+    // head + InfoNCE-style CE.
+    let s2_batch = 6;
+    let (gn2, gd2) = (192usize, 64usize);
+    let g_edges: Vec<(u32, u32)> = (0..gn2 as u32 - 1)
+        .map(|i| (i, (i * 7 + 1) % gn2 as u32))
+        .collect();
+    let g_adj = Arc::new(SparseMatrix::normalized_adjacency(gn2, &g_edges));
+    let g_feats: Vec<Tensor> = (0..s2_batch)
+        .map(|_| Tensor::xavier(gn2, gd2, &mut rng))
+        .collect();
+    let gw = Param::xavier(gd2, gd2, &mut rng);
+    let gb = Param::zeros(1, gd2);
+    let ggain = Param::ones(1, gd2);
+    let gbias = Param::zeros(1, gd2);
+    let ghead = Param::xavier(gd2, 4, &mut rng);
+    let step2 = |serial: bool, store: &mut GradStore| {
+        let build = |i: usize| {
+            let mut g = Graph::new();
+            let x = g.constant(g_feats[i].clone());
+            let p = g.spmm(g_adj.clone(), x);
+            let wn = gw.bind(&mut g);
+            let bn = gb.bind(&mut g);
+            let h = g.linear_relu(p, wn, bn);
+            let gnn = ggain.bind(&mut g);
+            let bbn = gbias.bind(&mut g);
+            let normed = g.layer_norm(h, gnn, bbn);
+            let pooled = g.mean_rows(normed);
+            let aux = g.mse(pooled, Tensor::zeros(1, gd2));
+            SampleTape {
+                graph: g,
+                outputs: vec![pooled, aux],
+            }
+        };
+        let combine = |g: &mut Graph, leaves: &[Vec<NodeId>]| {
+            let rows: Vec<NodeId> = leaves.iter().map(|l| l[0]).collect();
+            let batch = g.stack_rows(&rows);
+            let hn = ghead.bind(g);
+            let logits = g.matmul(batch, hn);
+            let targets: Vec<usize> = (0..rows.len()).map(|i| i % 4).collect();
+            let ce = g.cross_entropy(logits, Arc::new(targets));
+            let mut losses: Vec<(NodeId, f32)> = vec![(ce, 1.0)];
+            for l in leaves {
+                losses.push((l[1], 1.0 / s2_batch as f32));
+            }
+            weighted_sum(g, &losses)
+        };
+        if serial {
+            data_parallel::step_serial(s2_batch, build, combine, store)
+        } else {
+            data_parallel::step(s2_batch, build, combine, store)
+        }
+    };
+    let t_par2 = time_it(|| step2(false, &mut store));
+    let t_ser2 = time_it(|| step2(true, &mut store));
+    entries.push(Entry {
+        name: "train_step_graph_b6",
+        seconds: t_par2,
+        seed_seconds: Some(t_ser2),
+    });
+
     // --- report ------------------------------------------------------
     println!("kernel benches ({threads} thread(s)):");
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -188,7 +310,8 @@ fn main() {
     if host_cpus == 1 {
         json.push_str(
             "  \"note\": \"single-core host: only the cache/register-tiling term is \
-             measured; the row-parallel term needs a multi-core re-record\",\n",
+             measured; the row-parallel and data-parallel train_step terms need a \
+             multi-core re-record\",\n",
         );
     }
     json.push_str("  \"kernels\": {\n");

@@ -57,7 +57,7 @@ impl ExprLlm {
         let mut x = self.embed.forward(g, toks);
         // Positional embeddings: gather the first n rows.
         let pos_all = self.pos.bind(g);
-        let pos = g.gather_rows(pos_all, std::rc::Rc::new((0..n as u32).collect()));
+        let pos = g.gather_rows(pos_all, std::sync::Arc::new((0..n as u32).collect()));
         x = g.add(x, pos);
         for b in &self.blocks {
             x = b.forward(g, x);

@@ -1,11 +1,42 @@
 //! Fine-tuning heads over frozen NetTAG embeddings (paper Sec. II-F):
 //! lightweight MLP classifiers/regressors plus the GBDT option.
 
-use nettag_nn::{Adam, GbdtConfig, GbdtRegressor, Graph, Layer, Mlp, Tensor};
+use nettag_nn::{
+    data_parallel, Adam, GbdtConfig, GbdtRegressor, GradStore, Graph, Layer, Mlp, NodeId,
+    SampleTape, Tensor,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
+
+/// Rows per data-parallel shard in the full-batch head trainers. Fixed
+/// (not derived from the worker count) so the shard partition — and with
+/// it every floating-point reduction order — is identical at any thread
+/// count.
+const SHARD_ROWS: usize = 32;
+
+/// The single source of shard boundaries: half-open row ranges of at
+/// most [`SHARD_ROWS`] rows. Feature and target sharding must both
+/// consume this so they can never misalign.
+fn shard_ranges(rows: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    (0..rows)
+        .step_by(SHARD_ROWS)
+        .map(move |start| start..(start + SHARD_ROWS).min(rows))
+}
+
+/// Splits packed features into fixed-size row shards.
+fn shard_rows(x: &Tensor) -> Vec<Tensor> {
+    shard_ranges(x.rows)
+        .map(|r| {
+            Tensor::from_vec(
+                r.len(),
+                x.cols,
+                x.data[r.start * x.cols..r.end * x.cols].to_vec(),
+            )
+        })
+        .collect()
+}
 
 /// Training schedule for fine-tuning heads.
 #[derive(Debug, Clone)]
@@ -56,16 +87,41 @@ impl ClassifierHead {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut mlp = Mlp::new(&[dim, config.hidden, classes], &mut rng);
         let x = pack(features);
-        let targets = Rc::new(labels.to_vec());
+        // Fixed-size row shards train data-parallel: per-shard tapes,
+        // per-shard CE means, recombined with shard-size weights so the
+        // total equals the full-batch mean.
+        let shards = shard_rows(&x);
+        let shard_targets: Vec<Arc<Vec<usize>>> = shard_ranges(x.rows)
+            .map(|r| Arc::new(labels[r].to_vec()))
+            .collect();
+        let total = labels.len() as f32;
         let mut opt = Adam::new(config.lr);
+        let mut store = GradStore::new();
         for _ in 0..config.epochs {
-            let mut g = Graph::new();
-            let xn = g.constant(x.clone());
-            let logits = mlp.forward(&mut g, xn);
-            let loss = g.cross_entropy(logits, targets.clone());
-            let grads = g.backward(loss);
-            let pg = g.param_grads(&grads);
-            opt.step(&mut mlp.params_mut(), &pg);
+            let mlp_ref = &mlp;
+            data_parallel::step(
+                shards.len(),
+                |i| {
+                    let mut g = Graph::new();
+                    let xn = g.constant(shards[i].clone());
+                    let logits = mlp_ref.forward(&mut g, xn);
+                    let loss = g.cross_entropy(logits, shard_targets[i].clone());
+                    SampleTape {
+                        graph: g,
+                        outputs: vec![loss],
+                    }
+                },
+                |g, leaves| {
+                    let weighted: Vec<(NodeId, f32)> = leaves
+                        .iter()
+                        .enumerate()
+                        .map(|(i, l)| (l[0], shard_targets[i].len() as f32 / total))
+                        .collect();
+                    nettag_nn::weighted_sum(g, &weighted)
+                },
+                &mut store,
+            );
+            opt.step(&mut mlp.params_mut(), &store);
         }
         ClassifierHead { mlp, classes }
     }
@@ -151,15 +207,36 @@ impl RegressorHead {
                 let mut mlp = Mlp::new(&[dim, config.hidden, 1], &mut rng);
                 let x = pack(features);
                 let y = Tensor::from_vec(normed.len(), 1, normed);
+                let shards = shard_rows(&x);
+                let target_shards = shard_rows(&y);
+                let total = y.rows as f32;
                 let mut opt = Adam::new(config.lr);
+                let mut store = GradStore::new();
                 for _ in 0..config.epochs {
-                    let mut g = Graph::new();
-                    let xn = g.constant(x.clone());
-                    let pred = mlp.forward(&mut g, xn);
-                    let loss = g.mse(pred, y.clone());
-                    let grads = g.backward(loss);
-                    let pg = g.param_grads(&grads);
-                    opt.step(&mut mlp.params_mut(), &pg);
+                    let mlp_ref = &mlp;
+                    data_parallel::step(
+                        shards.len(),
+                        |i| {
+                            let mut g = Graph::new();
+                            let xn = g.constant(shards[i].clone());
+                            let pred = mlp_ref.forward(&mut g, xn);
+                            let loss = g.mse(pred, target_shards[i].clone());
+                            SampleTape {
+                                graph: g,
+                                outputs: vec![loss],
+                            }
+                        },
+                        |g, leaves| {
+                            let weighted: Vec<(NodeId, f32)> = leaves
+                                .iter()
+                                .enumerate()
+                                .map(|(i, l)| (l[0], target_shards[i].rows as f32 / total))
+                                .collect();
+                            nettag_nn::weighted_sum(g, &weighted)
+                        },
+                        &mut store,
+                    );
+                    opt.step(&mut mlp.params_mut(), &store);
                 }
                 RegressorModel::Mlp(mlp)
             }

@@ -16,7 +16,10 @@ use crate::nettag::NetTag;
 use nettag_expr::token::{tokenize_expr, Vocab};
 use nettag_expr::{augment_equivalent, AugmentConfig};
 use nettag_netlist::ALL_CELL_KINDS;
-use nettag_nn::{info_nce, weighted_sum, Adam, Graph, Layer, Mlp, Tensor};
+use nettag_nn::{
+    data_parallel, info_nce, weighted_sum, Adam, GradStore, Graph, Layer, Mlp, NodeId, SampleTape,
+    Tensor,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -124,9 +127,12 @@ pub fn pretrain_exprllm(
     let vocab = NetTag::vocab();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 1);
     let mut opt = Adam::new(config.step1_lr);
+    let mut store = GradStore::new();
     let aug = AugmentConfig::default();
     let mut losses = Vec::with_capacity(config.step1_steps);
     for _ in 0..config.step1_steps {
+        // All randomness is drawn up front so the per-sample tape builds
+        // are pure functions of the sample index.
         let batch: Vec<&nettag_expr::Expr> = (0..config.step1_batch)
             .map(|_| {
                 data.exprs
@@ -146,14 +152,33 @@ pub fn pretrain_exprllm(
                 tokenize_expr(&vocab, &variant, model.config.max_tokens)
             })
             .collect();
-        let mut g = Graph::new();
-        let a = model.exprllm.forward_batch(&mut g, &anchors);
-        let p = model.exprllm.forward_batch(&mut g, &positives);
-        let loss = info_nce(&mut g, a, p, model.config.temperature);
-        losses.push(g.value(loss).item());
-        let grads = g.backward(loss);
-        let pg = g.param_grads(&grads);
-        opt.step(&mut model.exprllm.params_mut(), &pg);
+        // Data-parallel step: each pair's anchor/positive encoder passes
+        // run on their own tape; only the InfoNCE over the stacked batch
+        // (which couples all samples as negatives) runs centrally.
+        let exprllm = &model.exprllm;
+        let temperature = model.config.temperature;
+        let loss = data_parallel::step(
+            anchors.len(),
+            |i| {
+                let mut g = Graph::new();
+                let a = exprllm.forward(&mut g, &anchors[i]);
+                let p = exprllm.forward(&mut g, &positives[i]);
+                SampleTape {
+                    graph: g,
+                    outputs: vec![a, p],
+                }
+            },
+            |g, leaves| {
+                let a_rows: Vec<NodeId> = leaves.iter().map(|l| l[0]).collect();
+                let p_rows: Vec<NodeId> = leaves.iter().map(|l| l[1]).collect();
+                let a = g.stack_rows(&a_rows);
+                let p = g.stack_rows(&p_rows);
+                info_nce(g, a, p, temperature)
+            },
+            &mut store,
+        );
+        losses.push(loss);
+        opt.step(&mut model.exprllm.params_mut(), &store);
     }
     losses
 }
@@ -210,100 +235,145 @@ pub fn pretrain_tagformer(
     }
     let mut rng = StdRng::seed_from_u64(config.seed ^ 2);
     let mut opt = Adam::new(config.step2_lr);
+    let mut store = GradStore::new();
     let obj = config.objectives;
     let mut losses = Vec::with_capacity(config.step2_steps);
     for _ in 0..config.step2_steps {
+        // Sample the batch and the masked-gate sets up front (all
+        // randomness on this thread, in the same draw order as the old
+        // single-tape loop), so tape builds are pure.
         let batch: Vec<&FrozenCone> = (0..config.step2_batch)
             .map(|_| {
                 let i = rng.gen_range(0..frozen.len());
                 &frozen[i]
             })
             .collect();
-        let mut g = Graph::new();
-        let mut cls_rows = Vec::new();
-        let mut aug_cls_rows = Vec::new();
-        let mut rtl_rows = Vec::new();
-        let mut layout_rows = Vec::new();
-        let mut objective_losses: Vec<(nettag_nn::NodeId, f32)> = Vec::new();
-        for fc in &batch {
-            let cone: &ConeSample = &data.cones[fc.index];
-            let n = fc.features.rows;
-            // Choose masked gates (combinational only).
-            let maskable: Vec<usize> = (0..n)
-                .filter(|&i| cone.kinds[i].is_combinational())
-                .collect();
-            let n_mask = ((maskable.len() as f64 * model.config.mask_rate).ceil() as usize)
-                .min(maskable.len())
-                .max(usize::from(!maskable.is_empty()));
-            let masked: Vec<usize> = maskable
-                .choose_multiple(&mut rng, n_mask)
-                .copied()
-                .collect();
-            let feats = g.constant(fc.features.clone());
-            let out = model.tagformer.forward(
-                &mut g,
-                feats,
-                &cone.tag.edges,
-                if obj.masked_gate { &masked } else { &[] },
-            );
-            cls_rows.push(out.cls);
-            // #2.1 masked gate reconstruction.
-            if obj.masked_gate && !masked.is_empty() {
-                let ids: Vec<u32> = masked.iter().map(|&i| i as u32).collect();
-                let picked = g.gather_rows(out.nodes, std::rc::Rc::new(ids));
-                let logits = heads.mask_head.forward(&mut g, picked);
-                let targets: Vec<usize> = masked.iter().map(|&i| cone.kinds[i].index()).collect();
-                let ce = g.cross_entropy(logits, std::rc::Rc::new(targets));
-                objective_losses.push((ce, 1.0 / batch.len() as f32));
-            }
-            // #2.3 graph size prediction.
-            if obj.size_prediction {
-                let pred = heads.size_head.forward(&mut g, out.cls);
-                let target = Tensor::row(cone.size_targets.clone());
-                let mse = g.mse(pred, target);
-                objective_losses.push((mse, 1.0 / batch.len() as f32));
-            }
-            // #2.2 positive: the augmented equivalent cone.
-            if obj.graph_contrast {
-                let aug_feats = g.constant(fc.aug_features.clone());
-                let aug_out = model
-                    .tagformer
-                    .forward(&mut g, aug_feats, &cone.aug_tag.edges, &[]);
-                aug_cls_rows.push(aug_out.cls);
-            }
-            // #3 cross-stage embeddings.
-            if obj.cross_stage {
-                rtl_rows.push(rtl_encoder.forward(&mut g, &fc.rtl_tokens));
-                layout_rows.push(layout_encoder.forward(&mut g, &cone.layout, cone.die));
-            }
-        }
-        let cls = g.stack_rows(&cls_rows);
-        if obj.graph_contrast {
-            let pos = g.stack_rows(&aug_cls_rows);
-            let l = info_nce(&mut g, cls, pos, model.config.temperature);
-            objective_losses.push((l, 1.0));
-        }
-        if obj.cross_stage {
-            let rtl = g.stack_rows(&rtl_rows);
-            let lay = g.stack_rows(&layout_rows);
-            let l_rtl = info_nce(&mut g, cls, rtl, model.config.temperature);
-            let l_lay = info_nce(&mut g, cls, lay, model.config.temperature);
-            objective_losses.push((l_rtl, 1.0));
-            objective_losses.push((l_lay, 1.0));
-        }
-        if objective_losses.is_empty() {
+        let masked_sets: Vec<Vec<usize>> = batch
+            .iter()
+            .map(|fc| {
+                let cone: &ConeSample = &data.cones[fc.index];
+                let n = fc.features.rows;
+                // Choose masked gates (combinational only).
+                let maskable: Vec<usize> = (0..n)
+                    .filter(|&i| cone.kinds[i].is_combinational())
+                    .collect();
+                let n_mask = ((maskable.len() as f64 * model.config.mask_rate).ceil() as usize)
+                    .min(maskable.len())
+                    .max(usize::from(!maskable.is_empty()));
+                maskable
+                    .choose_multiple(&mut rng, n_mask)
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        let any_mask = obj.masked_gate && masked_sets.iter().any(|m| !m.is_empty());
+        if !(any_mask || obj.size_prediction || obj.graph_contrast || obj.cross_stage) {
             break;
         }
-        let total = weighted_sum(&mut g, &objective_losses);
-        losses.push(g.value(total).item());
-        let grads = g.backward(total);
-        let pg = g.param_grads(&grads);
+        // Per-sample outputs, in this fixed order (combine re-reads the
+        // same flags): cls, [aug_cls], [rtl, layout], [mask_ce],
+        // [size_mse].
+        let batch_len = batch.len();
+        let model_ref = &*model;
+        let heads_ref = &*heads;
+        let rtl_ref = &*rtl_encoder;
+        let layout_ref = &*layout_encoder;
+        let loss = data_parallel::step(
+            batch_len,
+            |i| {
+                let fc = batch[i];
+                let cone: &ConeSample = &data.cones[fc.index];
+                let masked = &masked_sets[i];
+                let mut g = Graph::new();
+                let feats = g.constant(fc.features.clone());
+                let out = model_ref.tagformer.forward(
+                    &mut g,
+                    feats,
+                    &cone.tag.edges,
+                    if obj.masked_gate { masked } else { &[] },
+                );
+                let mut outputs = vec![out.cls];
+                // #2.2 positive: the augmented equivalent cone.
+                if obj.graph_contrast {
+                    let aug_feats = g.constant(fc.aug_features.clone());
+                    let aug_out =
+                        model_ref
+                            .tagformer
+                            .forward(&mut g, aug_feats, &cone.aug_tag.edges, &[]);
+                    outputs.push(aug_out.cls);
+                }
+                // #3 cross-stage embeddings.
+                if obj.cross_stage {
+                    outputs.push(rtl_ref.forward(&mut g, &fc.rtl_tokens));
+                    outputs.push(layout_ref.forward(&mut g, &cone.layout, cone.die));
+                }
+                // #2.1 masked gate reconstruction (per-sample scalar).
+                if obj.masked_gate && !masked.is_empty() {
+                    let ids: Vec<u32> = masked.iter().map(|&i| i as u32).collect();
+                    let picked = g.gather_rows(out.nodes, std::sync::Arc::new(ids));
+                    let logits = heads_ref.mask_head.forward(&mut g, picked);
+                    let targets: Vec<usize> =
+                        masked.iter().map(|&i| cone.kinds[i].index()).collect();
+                    outputs.push(g.cross_entropy(logits, std::sync::Arc::new(targets)));
+                }
+                // #2.3 graph size prediction (per-sample scalar).
+                if obj.size_prediction {
+                    let pred = heads_ref.size_head.forward(&mut g, out.cls);
+                    let target = Tensor::row(cone.size_targets.clone());
+                    outputs.push(g.mse(pred, target));
+                }
+                SampleTape { graph: g, outputs }
+            },
+            |g, leaves| {
+                let mut objective_losses: Vec<(NodeId, f32)> = Vec::new();
+                let mut cls_rows = Vec::with_capacity(batch_len);
+                let mut aug_cls_rows = Vec::new();
+                let mut rtl_rows = Vec::new();
+                let mut layout_rows = Vec::new();
+                for (i, sample) in leaves.iter().enumerate() {
+                    let mut it = sample.iter().copied();
+                    cls_rows.push(it.next().expect("cls output"));
+                    if obj.graph_contrast {
+                        aug_cls_rows.push(it.next().expect("aug output"));
+                    }
+                    if obj.cross_stage {
+                        rtl_rows.push(it.next().expect("rtl output"));
+                        layout_rows.push(it.next().expect("layout output"));
+                    }
+                    if obj.masked_gate && !masked_sets[i].is_empty() {
+                        let ce = it.next().expect("mask ce output");
+                        objective_losses.push((ce, 1.0 / batch_len as f32));
+                    }
+                    if obj.size_prediction {
+                        let mse = it.next().expect("size mse output");
+                        objective_losses.push((mse, 1.0 / batch_len as f32));
+                    }
+                }
+                let cls = g.stack_rows(&cls_rows);
+                if obj.graph_contrast {
+                    let pos = g.stack_rows(&aug_cls_rows);
+                    let l = info_nce(g, cls, pos, model_ref.config.temperature);
+                    objective_losses.push((l, 1.0));
+                }
+                if obj.cross_stage {
+                    let rtl = g.stack_rows(&rtl_rows);
+                    let lay = g.stack_rows(&layout_rows);
+                    let l_rtl = info_nce(g, cls, rtl, model_ref.config.temperature);
+                    let l_lay = info_nce(g, cls, lay, model_ref.config.temperature);
+                    objective_losses.push((l_rtl, 1.0));
+                    objective_losses.push((l_lay, 1.0));
+                }
+                weighted_sum(g, &objective_losses)
+            },
+            &mut store,
+        );
+        losses.push(loss);
         let mut params = model.tagformer.params_mut();
         params.extend(heads.mask_head.params_mut());
         params.extend(heads.size_head.params_mut());
         params.extend(rtl_encoder.params_mut());
         params.extend(layout_encoder.params_mut());
-        opt.step(&mut params, &pg);
+        opt.step(&mut params, &store);
     }
     losses
 }

@@ -16,7 +16,7 @@ use nettag_nn::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One TAGFormer layer: global attention + graph propagation, pre-norm.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -39,7 +39,7 @@ impl TagFormerLayer {
         }
     }
 
-    fn forward(&self, g: &mut Graph, x: NodeId, adj: &Rc<SparseMatrix>) -> NodeId {
+    fn forward(&self, g: &mut Graph, x: NodeId, adj: &Arc<SparseMatrix>) -> NodeId {
         let h = self.ln1.forward(g, x);
         let a = self.attn.forward(g, h);
         let p0 = g.spmm(adj.clone(), h);
@@ -155,7 +155,7 @@ impl TagFormer {
         let projected = self.input_proj.forward(g, feats);
         let cls = self.cls_seed.bind(g);
         let x = g.concat_rows(&[projected, cls]);
-        let adj = Rc::new(Self::cls_adjacency(n, edges));
+        let adj = Arc::new(Self::cls_adjacency(n, edges));
         let mut h = x;
         for layer in &self.layers {
             h = layer.forward(g, h, &adj);
@@ -165,7 +165,7 @@ impl TagFormer {
         let cls_out = g.select_row(out, n);
         // Node embeddings: rows 0..n.
         let ids: Vec<u32> = (0..n as u32).collect();
-        let nodes = g.gather_rows(out, Rc::new(ids));
+        let nodes = g.gather_rows(out, Arc::new(ids));
         TagFormerOutput {
             nodes,
             cls: cls_out,

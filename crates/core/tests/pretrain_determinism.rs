@@ -1,0 +1,80 @@
+//! Determinism of the data-parallel training pipeline: two full
+//! pre-training runs with the same seed must produce bitwise-identical
+//! loss traces, and so must two fine-tuning head fits. CI replays this
+//! suite at `RAYON_NUM_THREADS=1` and `4`; combined with the
+//! serial-vs-parallel step equivalence tests in `nettag-nn`, that pins
+//! the whole training path to one result at any thread count.
+
+use nettag_core::data::{build_pretrain_data, DataConfig};
+use nettag_core::{
+    pretrain, ClassifierHead, FinetuneConfig, NetTag, NetTagConfig, PretrainConfig, PretrainReport,
+};
+use nettag_netlist::Library;
+use nettag_synth::{generate_design, Family, GenerateConfig};
+
+fn run_once() -> PretrainReport {
+    let lib = Library::default();
+    let designs: Vec<_> = (0..2)
+        .map(|i| generate_design(Family::OpenCores, i, 3, &GenerateConfig::default()))
+        .collect();
+    let data = build_pretrain_data(
+        &designs,
+        &lib,
+        &DataConfig {
+            max_cones_per_design: 2,
+            ..DataConfig::default()
+        },
+    );
+    let mut model = NetTag::new(NetTagConfig::tiny());
+    let config = PretrainConfig {
+        step1_steps: 6,
+        step1_batch: 4,
+        step2_steps: 4,
+        step2_batch: 3,
+        ..PretrainConfig::default()
+    };
+    pretrain(&mut model, &data, &config)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn pretrain_losses_are_bitwise_reproducible() {
+    let a = run_once();
+    let b = run_once();
+    assert!(!a.step1_losses.is_empty() && !a.step2_losses.is_empty());
+    assert_eq!(
+        bits(&a.step1_losses),
+        bits(&b.step1_losses),
+        "step-1 traces must be bitwise identical for one seed"
+    );
+    assert_eq!(
+        bits(&a.step2_losses),
+        bits(&b.step2_losses),
+        "step-2 traces must be bitwise identical for one seed"
+    );
+}
+
+#[test]
+fn finetune_head_is_bitwise_reproducible() {
+    // 40 samples across two separable blobs, two shards' worth of rows.
+    let features: Vec<Vec<f32>> = (0..40)
+        .map(|i| {
+            let c = if i % 2 == 0 { 1.0f32 } else { -1.0 };
+            vec![c + 0.01 * i as f32, -c, 0.5 * c]
+        })
+        .collect();
+    let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+    let config = FinetuneConfig {
+        epochs: 25,
+        ..FinetuneConfig::default()
+    };
+    let h1 = ClassifierHead::train(&features, &labels, 2, &config);
+    let h2 = ClassifierHead::train(&features, &labels, 2, &config);
+    assert_eq!(h1.predict(&features), h2.predict(&features));
+    let p = h1.predict(&features);
+    let acc = p.iter().zip(labels.iter()).filter(|(a, b)| a == b).count();
+    assert!(acc >= 36, "separable blobs should classify, got {acc}/40");
+}

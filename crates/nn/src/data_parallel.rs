@@ -1,0 +1,333 @@
+//! Data-parallel training steps with deterministic gradient reduction.
+//!
+//! Contrastive objectives couple the whole batch at the loss (every
+//! sample is every other sample's negative), so a batch can't be split
+//! into fully independent losses — but almost all of the work *can* be:
+//! the per-sample encoder forward and backward passes dominate, and only
+//! the final combine (stack rows → InfoNCE / weighted sum) is joint. The
+//! driver here exploits exactly that split:
+//!
+//! 1. **Per-sample tapes** — `build(i)` records sample `i`'s forward pass
+//!    on its own [`Graph`], returning the sample's output nodes (embedding
+//!    rows, per-sample scalar losses). Tapes build on worker threads.
+//! 2. **Central combine tape** — the sample outputs enter a small central
+//!    graph as leaves; `combine` stacks them and produces the scalar
+//!    batch loss. This tape is tiny (a few `batch×dim` ops) and runs on
+//!    the calling thread.
+//! 3. **Seeded per-sample backward** — the central tape's backward pass
+//!    yields each leaf's adjoint, which seeds the matching sample tape's
+//!    backward pass ([`Graph::backward_seeded_into`]); per-sample
+//!    parameter gradients land in per-sample [`GradStore`]s, in parallel.
+//! 4. **Deterministic reduction** — per-sample stores merge through the
+//!    fixed index-ascending pairwise tree of [`nettag_par::map_reduce`],
+//!    then any parameters bound by the central tape are drained in last.
+//!    The merge order depends only on the batch size, never on the
+//!    worker count, so **the step is bitwise identical at any thread
+//!    count** — the same guarantee the dense kernels ship.
+//!
+//! The caller finishes the step with a single `Adam::step` on the filled
+//! store; Adam state stays single-owner (one optimizer, one moment pair
+//! per parameter — workers only ever touch gradients, never moments).
+//!
+//! [`step_serial`] runs the identical algorithm with plain loops and no
+//! thread-pool involvement; the equivalence tests pin `step ==
+//! step_serial` bitwise, and CI replays them at 1 and 4 threads.
+
+use crate::grad::GradStore;
+use crate::graph::{Graph, NodeId};
+use crate::tensor::Tensor;
+
+/// One sample's recorded forward pass: its tape plus the nodes whose
+/// values feed the central combine tape (in a fixed order the combine
+/// closure understands).
+pub struct SampleTape {
+    /// The sample's autograd tape.
+    pub graph: Graph,
+    /// Output nodes handed to the combine tape, e.g. `[cls_row,
+    /// aux_loss]`.
+    pub outputs: Vec<NodeId>,
+}
+
+// Tapes move from builder threads to the reducer: the compile-time proof
+// that Graph stays Send (Arc-backed saved state, no Rc).
+fn _assert_send<T: Send>() {}
+const _: () = {
+    fn _check() {
+        _assert_send::<SampleTape>();
+    }
+};
+
+/// Runs one data-parallel training step: per-sample tapes built and
+/// differentiated on worker threads, gradients merged in a fixed order
+/// into `store` (cleared first; its buffers are reused across steps).
+/// Returns the batch loss.
+///
+/// `build(i)` must be a pure function of `i` (draw any randomness before
+/// the step and capture it), and `combine` receives one `Vec<NodeId>` of
+/// central-tape leaves per sample, mirroring each tape's `outputs`.
+/// Outputs left unused by `combine` simply contribute no gradient.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn step<B, C>(samples: usize, build: B, combine: C, store: &mut GradStore) -> f32
+where
+    B: Fn(usize) -> SampleTape + Sync,
+    C: FnOnce(&mut Graph, &[Vec<NodeId>]) -> NodeId,
+{
+    run_step(samples, build, combine, store, true)
+}
+
+/// The serial reference for [`step`]: same tapes, same central combine,
+/// same pairwise reduction tree — executed with plain loops on the
+/// calling thread. Exists so tests can pin the parallel driver bitwise
+/// against a thread-free reference inside one process.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn step_serial<B, C>(samples: usize, build: B, combine: C, store: &mut GradStore) -> f32
+where
+    B: Fn(usize) -> SampleTape + Sync,
+    C: FnOnce(&mut Graph, &[Vec<NodeId>]) -> NodeId,
+{
+    run_step(samples, build, combine, store, false)
+}
+
+fn run_step<B, C>(
+    samples: usize,
+    build: B,
+    combine: C,
+    store: &mut GradStore,
+    parallel: bool,
+) -> f32
+where
+    B: Fn(usize) -> SampleTape + Sync,
+    C: FnOnce(&mut Graph, &[Vec<NodeId>]) -> NodeId,
+{
+    assert!(samples > 0, "empty batch");
+    store.clear();
+
+    // Phase 1: per-sample forward tapes.
+    let tapes: Vec<SampleTape> = if parallel {
+        nettag_par::map_indexed(samples, &build)
+    } else {
+        (0..samples).map(&build).collect()
+    };
+
+    // Phase 2: central combine tape over the sample outputs.
+    let mut central = Graph::new();
+    let leaves: Vec<Vec<NodeId>> = tapes
+        .iter()
+        .map(|t| {
+            t.outputs
+                .iter()
+                .map(|&o| central.constant(t.graph.value(o).clone()))
+                .collect()
+        })
+        .collect();
+    let loss = combine(&mut central, &leaves);
+    let loss_value = central.value(loss).item();
+    let one = Tensor::scalar(1.0);
+    let mut central_adj = central.backward_sparse(&[(loss, &one)]);
+
+    // Phase 3+4: seeded per-sample backward passes, merged through the
+    // fixed index-ascending pairwise tree.
+    let per_sample = |i: usize| -> GradStore {
+        let tape = &tapes[i];
+        let mut s = GradStore::new();
+        let seeds: Vec<(NodeId, &Tensor)> = tape
+            .outputs
+            .iter()
+            .zip(leaves[i].iter())
+            .filter_map(|(&out, &leaf)| central_adj[leaf].as_ref().map(|g| (out, g)))
+            .collect();
+        tape.graph.backward_seeded_into(&seeds, &mut s);
+        s
+    };
+    let merge = |mut a: GradStore, b: GradStore| -> GradStore {
+        a.merge_owned(b);
+        a
+    };
+    let merged = if parallel {
+        nettag_par::map_reduce(samples, per_sample, merge)
+    } else {
+        let mut items: Vec<GradStore> = (0..samples).map(per_sample).collect();
+        while items.len() > 1 {
+            let mut next = Vec::with_capacity(items.len().div_ceil(2));
+            let mut it = items.into_iter();
+            while let Some(a) = it.next() {
+                next.push(match it.next() {
+                    Some(b) => merge(a, b),
+                    None => a,
+                });
+            }
+            items = next;
+        }
+        items.pop()
+    };
+    if let Some(m) = merged {
+        store.merge_owned(m);
+    }
+    // Parameters bound directly by the combine tape (e.g. a shared head
+    // applied to the stacked batch) come last, in tape order.
+    central.drain_params_into(&mut central_adj, store);
+    loss_value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Layer, Mlp, Param};
+    use crate::loss::info_nce;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xavier(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::xavier(rows, cols, &mut rng)
+    }
+
+    /// A contrastive batch: per-sample anchor/positive encoder rows,
+    /// combined with InfoNCE — the pre-training step-1 shape.
+    fn contrastive_step(
+        mlp: &Mlp,
+        inputs: &[(Tensor, Tensor)],
+        store: &mut GradStore,
+        serial: bool,
+    ) -> f32 {
+        let build = |i: usize| {
+            let mut g = Graph::new();
+            let a_in = g.constant(inputs[i].0.clone());
+            let p_in = g.constant(inputs[i].1.clone());
+            let a = mlp.forward(&mut g, a_in);
+            let p = mlp.forward(&mut g, p_in);
+            SampleTape {
+                graph: g,
+                outputs: vec![a, p],
+            }
+        };
+        let combine = |g: &mut Graph, leaves: &[Vec<NodeId>]| {
+            let anchors: Vec<NodeId> = leaves.iter().map(|l| l[0]).collect();
+            let positives: Vec<NodeId> = leaves.iter().map(|l| l[1]).collect();
+            let a = g.stack_rows(&anchors);
+            let p = g.stack_rows(&positives);
+            info_nce(g, a, p, 0.2)
+        };
+        if serial {
+            step_serial(inputs.len(), build, combine, store)
+        } else {
+            step(inputs.len(), build, combine, store)
+        }
+    }
+
+    #[test]
+    fn parallel_step_is_bitwise_equal_to_serial() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mlp = Mlp::new(&[6, 16, 8], &mut rng);
+        let inputs: Vec<(Tensor, Tensor)> = (0..5)
+            .map(|i| (xavier(1, 6, 100 + i), xavier(1, 6, 200 + i)))
+            .collect();
+        let mut s_par = GradStore::new();
+        let mut s_ser = GradStore::new();
+        let l_par = contrastive_step(&mlp, &inputs, &mut s_par, false);
+        let l_ser = contrastive_step(&mlp, &inputs, &mut s_ser, true);
+        assert_eq!(l_par.to_bits(), l_ser.to_bits(), "loss must match bitwise");
+        assert_eq!(s_par.len(), s_ser.len());
+        for ((k1, g1), (k2, g2)) in s_par.iter().zip(s_ser.iter()) {
+            assert_eq!(k1, k2, "store entry order must match");
+            assert_eq!(g1.data, g2.data, "grads for key {k1} must match bitwise");
+        }
+    }
+
+    #[test]
+    fn training_through_the_driver_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[4, 12, 6], &mut rng);
+        let inputs: Vec<(Tensor, Tensor)> = (0..6)
+            .map(|i| {
+                let a = xavier(1, 4, 40 + i);
+                (a.clone(), a.map(|v| v * 1.05))
+            })
+            .collect();
+        let mut opt = Adam::new(0.02);
+        let mut store = GradStore::new();
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        for s in 0..60 {
+            let l = contrastive_step(&mlp, &inputs, &mut store, false);
+            if s == 0 {
+                first = l;
+            }
+            last = l;
+            opt.step(&mut mlp.params_mut(), &store);
+        }
+        assert!(last < first * 0.8, "loss should fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn central_tape_parameters_receive_gradients() {
+        // A head bound only in the combine tape still trains.
+        let mut rng = StdRng::seed_from_u64(7);
+        let enc = Mlp::new(&[3, 8, 4], &mut rng);
+        let head = Param::new(xavier(4, 2, 9));
+        let inputs: Vec<Tensor> = (0..4).map(|i| xavier(1, 3, 70 + i)).collect();
+        let mut store = GradStore::new();
+        let loss = step(
+            inputs.len(),
+            |i| {
+                let mut g = Graph::new();
+                let x = g.constant(inputs[i].clone());
+                let y = enc.forward(&mut g, x);
+                SampleTape {
+                    graph: g,
+                    outputs: vec![y],
+                }
+            },
+            |g, leaves| {
+                let rows: Vec<NodeId> = leaves.iter().map(|l| l[0]).collect();
+                let batch = g.stack_rows(&rows);
+                let h = head.bind(g);
+                let logits = g.matmul(batch, h);
+                g.cross_entropy(logits, std::sync::Arc::new(vec![0, 1, 0, 1]))
+            },
+            &mut store,
+        );
+        assert!(loss.is_finite());
+        let hg = store.get(head.key).expect("central head grad collected");
+        assert!(hg.data.iter().any(|&v| v != 0.0));
+        // Encoder params got per-sample grads too.
+        assert!(store.len() > 1);
+    }
+
+    #[test]
+    fn unused_outputs_contribute_nothing() {
+        let p = Param::new(Tensor::scalar(2.0));
+        let q = Param::new(Tensor::scalar(3.0));
+        let mut store = GradStore::new();
+        let loss = step(
+            2,
+            |_| {
+                let mut g = Graph::new();
+                let a = p.bind(&mut g);
+                let b = q.bind(&mut g);
+                let used = g.scale(a, 1.0);
+                let unused = g.scale(b, 1.0);
+                SampleTape {
+                    graph: g,
+                    outputs: vec![used, unused],
+                }
+            },
+            |g, leaves| {
+                let rows: Vec<NodeId> = leaves.iter().map(|l| l[0]).collect();
+                let s = g.stack_rows(&rows);
+                g.mse(s, Tensor::zeros(2, 1))
+            },
+            &mut store,
+        );
+        assert!(loss > 0.0);
+        assert!(store.get(p.key).is_some());
+        assert!(store.get(q.key).is_none(), "unused output leaves no grad");
+    }
+}

@@ -1,0 +1,225 @@
+//! Flat parameter-gradient storage for optimizer steps.
+//!
+//! A [`GradStore`] owns one dense buffer per parameter key, kept in
+//! first-seen (insertion) order. It replaces the per-step
+//! `HashMap<usize, Tensor>` + `Tensor::clone` merging the optimizer used
+//! to do: gradients accumulate **in place** into reusable buffers, and
+//! [`GradStore::clear`] retires them without releasing their
+//! allocations, so the steady-state training step allocates nothing
+//! here.
+//!
+//! Staleness: `clear` bumps a generation counter instead of zeroing.
+//! Entries written before the current generation are invisible (`get`
+//! returns `None`, iteration skips them) — a parameter that received no
+//! gradient this step looks exactly like one that was never seen, so the
+//! optimizer leaves it untouched — and their buffers are recycled by
+//! overwriting on the next write to the same key.
+//!
+//! Determinism: every iteration order exposed by this type (entry order,
+//! the squared-norm reduction, merging) is the first-seen key order,
+//! which is itself fixed by the tape traversal that filled the store —
+//! never by a hash function or a thread schedule. Two stores filled by
+//! the same deterministic computation merge to bitwise-identical
+//! contents.
+
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Param-key-indexed gradient buffers with deterministic iteration order.
+#[derive(Debug, Default, Clone)]
+pub struct GradStore {
+    /// key → slot index into `keys`/`grads`/`written`.
+    slots: HashMap<usize, usize>,
+    /// Slot → key, in first-seen order.
+    keys: Vec<usize>,
+    /// Slot → gradient buffer.
+    grads: Vec<Tensor>,
+    /// Slot → generation the buffer was last written in.
+    written: Vec<u64>,
+    /// Current generation (bumped by [`GradStore::clear`]).
+    generation: u64,
+}
+
+impl GradStore {
+    /// Creates an empty store.
+    pub fn new() -> GradStore {
+        GradStore::default()
+    }
+
+    /// Number of parameter keys holding a gradient from the current
+    /// generation.
+    pub fn len(&self) -> usize {
+        self.written
+            .iter()
+            .filter(|&&w| w == self.generation)
+            .count()
+    }
+
+    /// Whether the store holds no current-generation gradients.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Retires every entry **without releasing allocations**: bumps the
+    /// generation, so existing buffers become invisible until their key
+    /// is written again (at which point the allocation is reused by
+    /// overwrite). Parameters not touched after a `clear` report no
+    /// gradient — the optimizer must leave them alone.
+    pub fn clear(&mut self) {
+        self.generation += 1;
+    }
+
+    /// The gradient for `key`, if one was accumulated this generation.
+    pub fn get(&self, key: usize) -> Option<&Tensor> {
+        self.slots
+            .get(&key)
+            .filter(|&&s| self.written[s] == self.generation)
+            .map(|&s| &self.grads[s])
+    }
+
+    /// Accumulates `grad` into the buffer for `key` (`+=`; the first
+    /// write of a generation overwrites the recycled buffer, and an
+    /// unseen key allocates one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prior gradient for `key` had a different shape.
+    pub fn accumulate(&mut self, key: usize, grad: &Tensor) {
+        match self.slots.get(&key) {
+            Some(&s) if self.written[s] == self.generation => self.grads[s].add_assign(grad),
+            Some(&s) => self.overwrite(s, grad),
+            None => self.insert_new(key, grad.clone()),
+        }
+    }
+
+    /// Like [`GradStore::accumulate`] but takes ownership, so the first
+    /// gradient for an unseen key moves its buffer in instead of copying
+    /// (the fast path when draining adjoints off a backward pass).
+    pub fn accumulate_owned(&mut self, key: usize, grad: Tensor) {
+        match self.slots.get(&key) {
+            Some(&s) if self.written[s] == self.generation => self.grads[s].add_assign(&grad),
+            Some(&s) => self.overwrite(s, &grad),
+            None => self.insert_new(key, grad),
+        }
+    }
+
+    /// First write of a generation into a recycled slot.
+    fn overwrite(&mut self, slot: usize, grad: &Tensor) {
+        let buf = &mut self.grads[slot];
+        assert_eq!(
+            (buf.rows, buf.cols),
+            (grad.rows, grad.cols),
+            "gradient shape changed between generations"
+        );
+        buf.data.copy_from_slice(&grad.data);
+        self.written[slot] = self.generation;
+    }
+
+    fn insert_new(&mut self, key: usize, grad: Tensor) {
+        let slot = self.keys.len();
+        self.slots.insert(key, slot);
+        self.keys.push(key);
+        self.grads.push(grad);
+        self.written.push(self.generation);
+    }
+
+    /// Merges another store's current-generation entries into this one,
+    /// following `other`'s entry order; buffers for keys this store has
+    /// never seen are **moved**, not copied. Used by the data-parallel
+    /// pairwise gradient reduction.
+    pub fn merge_owned(&mut self, other: GradStore) {
+        let gen_ = other.generation;
+        for ((key, grad), written) in other
+            .keys
+            .into_iter()
+            .zip(other.grads)
+            .zip(other.written.iter().copied())
+        {
+            if written == gen_ {
+                self.accumulate_owned(key, grad);
+            }
+        }
+    }
+
+    /// Iterates current-generation `(key, grad)` pairs in first-seen key
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Tensor)> + '_ {
+        self.keys
+            .iter()
+            .copied()
+            .zip(self.grads.iter())
+            .zip(self.written.iter())
+            .filter(|(_, &w)| w == self.generation)
+            .map(|(kg, _)| kg)
+    }
+
+    /// Sum of squared gradient elements over all current entries, reduced
+    /// in entry order (deterministic — the global-norm clip must not
+    /// depend on a hash map's iteration order).
+    pub fn sq_norm(&self) -> f32 {
+        self.iter()
+            .map(|(_, g)| g.data.iter().map(|v| v * v).sum::<f32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_merges_duplicate_keys() {
+        let mut s = GradStore::new();
+        s.accumulate(3, &Tensor::scalar(1.5));
+        s.accumulate(3, &Tensor::scalar(2.0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(3).expect("present").item(), 3.5);
+        assert!(s.get(4).is_none());
+    }
+
+    #[test]
+    fn clear_retires_entries_and_recycles_buffers() {
+        let mut s = GradStore::new();
+        s.accumulate(7, &Tensor::from_vec(2, 2, vec![1.0; 4]));
+        s.clear();
+        // A key not re-written after clear must look absent — the
+        // optimizer contract is "no gradient, no update".
+        assert_eq!(s.len(), 0);
+        assert!(s.get(7).is_none());
+        assert!(s.iter().next().is_none());
+        // Re-writing the key starts from the new value, not 1.0 + 2.0.
+        s.accumulate(7, &Tensor::from_vec(2, 2, vec![2.0; 4]));
+        assert!(s.get(7).expect("rewritten").data.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn merge_owned_follows_other_entry_order_and_skips_stale() {
+        let mut a = GradStore::new();
+        a.accumulate(1, &Tensor::scalar(1.0));
+        let mut b = GradStore::new();
+        b.accumulate(9, &Tensor::scalar(7.0));
+        b.clear();
+        b.accumulate(2, &Tensor::scalar(4.0));
+        b.accumulate(1, &Tensor::scalar(0.5));
+        a.merge_owned(b);
+        assert_eq!(a.get(1).expect("k1").item(), 1.5);
+        assert_eq!(a.get(2).expect("k2").item(), 4.0);
+        assert!(a.get(9).is_none(), "stale entries must not merge");
+        let keys: Vec<usize> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![1, 2],
+            "insertion order: a's key then b's new key"
+        );
+    }
+
+    #[test]
+    fn sq_norm_sums_current_entries() {
+        let mut s = GradStore::new();
+        s.accumulate(1, &Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        s.accumulate(2, &Tensor::scalar(2.0));
+        assert!((s.sq_norm() - 29.0).abs() < 1e-6);
+        s.clear();
+        assert_eq!(s.sq_norm(), 0.0);
+    }
+}

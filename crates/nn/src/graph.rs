@@ -17,9 +17,9 @@
 //! that recycles across ops and across repeated `backward` calls on the
 //! same graph.
 
+use crate::grad::GradStore;
 use crate::tensor::{SparseMatrix, Tensor};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Index of a node in the tape.
 pub type NodeId = usize;
@@ -32,7 +32,7 @@ enum Op {
     Leaf,
     MatMul(NodeId, NodeId),
     MatMulBt(NodeId, NodeId),
-    SpMm(Rc<SparseMatrix>, NodeId),
+    SpMm(Arc<SparseMatrix>, NodeId),
     /// Fused `x @ w + b` (+ ReLU when `relu`), one tape node instead of
     /// three; the kernel reuses B panels across the row block.
     Linear {
@@ -49,7 +49,7 @@ enum Op {
     Gelu(NodeId),
     Tanh(NodeId),
     ConcatCols(Vec<NodeId>),
-    GatherRows(NodeId, Rc<Vec<u32>>),
+    GatherRows(NodeId, Arc<Vec<u32>>),
     LayerNorm {
         x: NodeId,
         gain: NodeId,
@@ -69,7 +69,7 @@ enum Op {
     CrossEntropy {
         logits: NodeId,
         probs: Tensor,
-        targets: Rc<Vec<usize>>,
+        targets: Arc<Vec<usize>>,
     },
     Mse {
         pred: NodeId,
@@ -114,7 +114,7 @@ impl Workspace {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
-    scratch: RefCell<Workspace>,
+    scratch: Mutex<Workspace>,
 }
 
 /// Lazily materializes the adjoint buffer for a node.
@@ -167,7 +167,7 @@ impl Graph {
     }
 
     /// Sparse adjacency propagation `adj @ x`.
-    pub fn spmm(&mut self, adj: Rc<SparseMatrix>, x: NodeId) -> NodeId {
+    pub fn spmm(&mut self, adj: Arc<SparseMatrix>, x: NodeId) -> NodeId {
         let v = adj.matmul(&self.nodes[x].value);
         self.push(v, Op::SpMm(adj, x))
     }
@@ -280,7 +280,7 @@ impl Graph {
     }
 
     /// Embedding lookup: selects `ids` rows of `table`.
-    pub fn gather_rows(&mut self, table: NodeId, ids: Rc<Vec<u32>>) -> NodeId {
+    pub fn gather_rows(&mut self, table: NodeId, ids: Arc<Vec<u32>>) -> NodeId {
         let t = &self.nodes[table].value;
         let mut v = Tensor::zeros(ids.len(), t.cols);
         for (r, &id) in ids.iter().enumerate() {
@@ -299,19 +299,38 @@ impl Graph {
         let mut xhat = Tensor::zeros(xv.rows, xv.cols);
         let mut inv_std = vec![0.0f32; xv.rows];
         let mut out = Tensor::zeros(xv.rows, xv.cols);
-        #[allow(clippy::needless_range_loop)]
-        for r in 0..xv.rows {
-            let row = xv.row_slice(r);
-            let mean = row.iter().sum::<f32>() / xv.cols as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / xv.cols as f32;
-            let istd = 1.0 / (var + EPS).sqrt();
-            inv_std[r] = istd;
-            for c in 0..xv.cols {
-                let xh = (row[c] - mean) * istd;
-                *xhat.at_mut(r, c) = xh;
-                *out.at_mut(r, c) = xh * gv.at(0, c) + bv.at(0, c);
-            }
-        }
+        // Rows normalize independently — parallel over row blocks, each
+        // row's statistics reduced in ascending column order on exactly
+        // one thread (bitwise identical at any thread count).
+        let cols = xv.cols;
+        nettag_par::for_each_zip3_mut(
+            &mut out.data,
+            cols,
+            &mut xhat.data,
+            cols,
+            &mut inv_std,
+            1,
+            |first_row, out_rows, xhat_rows, istds| {
+                for (r, ((out_row, xhat_row), istd_slot)) in out_rows
+                    .chunks_exact_mut(cols)
+                    .zip(xhat_rows.chunks_exact_mut(cols))
+                    .zip(istds.iter_mut())
+                    .enumerate()
+                {
+                    let row = xv.row_slice(first_row + r);
+                    let mean = row.iter().sum::<f32>() / cols as f32;
+                    let var =
+                        row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+                    let istd = 1.0 / (var + EPS).sqrt();
+                    *istd_slot = istd;
+                    for c in 0..cols {
+                        let xh = (row[c] - mean) * istd;
+                        xhat_row[c] = xh;
+                        out_row[c] = xh * gv.at(0, c) + bv.at(0, c);
+                    }
+                }
+            },
+        );
         self.push(
             out,
             Op::LayerNorm {
@@ -411,7 +430,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `targets.len()` differs from the logits row count.
-    pub fn cross_entropy(&mut self, logits: NodeId, targets: Rc<Vec<usize>>) -> NodeId {
+    pub fn cross_entropy(&mut self, logits: NodeId, targets: Arc<Vec<usize>>) -> NodeId {
         let lv = &self.nodes[logits].value;
         assert_eq!(lv.rows, targets.len(), "one target per row");
         let probs = lv.softmax_rows();
@@ -445,12 +464,21 @@ impl Graph {
         self.push(Tensor::scalar(loss), Op::Mse { pred, target })
     }
 
-    /// Runs the backward pass from a scalar loss node; returns per-node
-    /// gradients (use [`Graph::param_grads`] to collect parameter grads).
-    /// Nodes unreachable from the loss report zero gradients.
-    pub fn backward(&self, loss: NodeId) -> Vec<Tensor> {
+    /// Core reverse sweep: adjoints are injected at `seeds` (accumulated
+    /// if a node is seeded twice), then propagated down the tape. Returns
+    /// the sparse adjoint table — `None` for nodes unreachable from any
+    /// seed.
+    pub(crate) fn backward_sparse(&self, seeds: &[(NodeId, &Tensor)]) -> Vec<Option<Tensor>> {
         let mut grads: Vec<Option<Tensor>> = self.nodes.iter().map(|_| None).collect();
-        grads[loss] = Some(Tensor::scalar(1.0));
+        for &(id, seed) in seeds {
+            let v = &self.nodes[id].value;
+            assert_eq!(
+                (v.rows, v.cols),
+                (seed.rows, seed.cols),
+                "seed shape must match the seeded node"
+            );
+            ensure(&mut grads[id], v.rows, v.cols).add_assign(seed);
+        }
         for id in (0..self.nodes.len()).rev() {
             if grads[id].is_none() {
                 continue;
@@ -463,6 +491,29 @@ impl Graph {
             self.accumulate_op(id, g_out, inputs);
         }
         grads
+    }
+
+    /// Drains parameter adjoints out of a sparse adjoint table into a
+    /// [`GradStore`], moving buffers (no clones). Walks the tape in node
+    /// order, so store entry order is deterministic. Parameters
+    /// unreachable from the seeds contribute nothing (the optimizer
+    /// leaves them untouched).
+    pub(crate) fn drain_params_into(&self, grads: &mut [Option<Tensor>], store: &mut GradStore) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(key) = node.param_key {
+                if let Some(g) = grads[i].take() {
+                    store.accumulate_owned(key, g);
+                }
+            }
+        }
+    }
+
+    /// Runs the backward pass from a scalar loss node; returns per-node
+    /// gradients (use [`Graph::param_grads`] to collect parameter grads).
+    /// Nodes unreachable from the loss report zero gradients.
+    pub fn backward(&self, loss: NodeId) -> Vec<Tensor> {
+        let one = Tensor::scalar(1.0);
+        self.backward_sparse(&[(loss, &one)])
             .into_iter()
             .enumerate()
             .map(|(i, g)| {
@@ -472,6 +523,26 @@ impl Graph {
                 })
             })
             .collect()
+    }
+
+    /// Backward pass from a scalar loss straight into a [`GradStore`]:
+    /// parameter adjoints are moved into the store (accumulating with
+    /// whatever it already holds) without the dense per-node gradient
+    /// vector or any per-parameter clone.
+    pub fn backward_into(&self, loss: NodeId, store: &mut GradStore) {
+        let one = Tensor::scalar(1.0);
+        let mut grads = self.backward_sparse(&[(loss, &one)]);
+        self.drain_params_into(&mut grads, store);
+    }
+
+    /// Backward pass from externally supplied output adjoints — the
+    /// data-parallel driver's per-sample phase, where each sample tape is
+    /// seeded with the central combine tape's gradient for its outputs.
+    /// Seeds for the same node accumulate. Parameter gradients land in
+    /// `store` as in [`Graph::backward_into`].
+    pub fn backward_seeded_into(&self, seeds: &[(NodeId, &Tensor)], store: &mut GradStore) {
+        let mut grads = self.backward_sparse(seeds);
+        self.drain_params_into(&mut grads, store);
     }
 
     /// Propagates one node's adjoint into its inputs, accumulating in
@@ -517,7 +588,11 @@ impl Graph {
                 let mut scratch = None;
                 let gpre: &Tensor = if *relu {
                     let y = &self.nodes[id].value;
-                    let mut buf = self.scratch.borrow_mut().take(g_out.data.len());
+                    let mut buf = self
+                        .scratch
+                        .lock()
+                        .expect("scratch pool poisoned")
+                        .take(g_out.data.len());
                     buf.extend(g_out.data.iter().zip(y.data.iter()).map(|(&g, &yv)| {
                         if yv > 0.0 {
                             g
@@ -548,7 +623,10 @@ impl Graph {
                     }
                 }
                 if let Some(t) = scratch {
-                    self.scratch.borrow_mut().give(t.data);
+                    self.scratch
+                        .lock()
+                        .expect("scratch pool poisoned")
+                        .give(t.data);
                 }
             }
             Op::Add(a, b) => {
@@ -700,21 +778,27 @@ impl Graph {
                 }
                 let (r, c) = shape(*x);
                 let dx = ensure(&mut inputs[*x], r, c);
-                #[allow(clippy::needless_range_loop)]
-                for row in 0..g_out.rows {
-                    let mut sum_gdy = 0.0f32;
-                    let mut sum_gdy_xhat = 0.0f32;
-                    for c in 0..g_out.cols {
-                        let gdy = g_out.at(row, c) * gv.at(0, c);
-                        sum_gdy += gdy;
-                        sum_gdy_xhat += gdy * xhat.at(row, c);
+                // Like the forward pass, every row's adjoint only reads
+                // that row's saved statistics — row-parallel, each row
+                // reduced in ascending column order by one thread.
+                let width = g_out.cols;
+                nettag_par::for_each_row_block_mut(&mut dx.data, width, |first_row, dx_rows| {
+                    for (i, dx_row) in dx_rows.chunks_exact_mut(width).enumerate() {
+                        let row = first_row + i;
+                        let mut sum_gdy = 0.0f32;
+                        let mut sum_gdy_xhat = 0.0f32;
+                        for c in 0..width {
+                            let gdy = g_out.at(row, c) * gv.at(0, c);
+                            sum_gdy += gdy;
+                            sum_gdy_xhat += gdy * xhat.at(row, c);
+                        }
+                        for (c, slot) in dx_row.iter_mut().enumerate() {
+                            let gdy = g_out.at(row, c) * gv.at(0, c);
+                            *slot += inv_std[row]
+                                * (gdy - sum_gdy / cols - xhat.at(row, c) * sum_gdy_xhat / cols);
+                        }
                     }
-                    for c in 0..g_out.cols {
-                        let gdy = g_out.at(row, c) * gv.at(0, c);
-                        dx.data[row * g_out.cols + c] += inv_std[row]
-                            * (gdy - sum_gdy / cols - xhat.at(row, c) * sum_gdy_xhat / cols);
-                    }
-                }
+                });
             }
             Op::MeanRows(x) => {
                 let n = self.nodes[*x].value.rows.max(1) as f32;
@@ -899,7 +983,7 @@ mod tests {
             let xn = g.normalize_rows(x);
             let o = g.constant(other.clone());
             let sim = g.matmul_bt(xn, o);
-            g.cross_entropy(sim, Rc::new(vec![0, 1, 2, 3]))
+            g.cross_entropy(sim, Arc::new(vec![0, 1, 2, 3]))
         });
     }
 
@@ -927,7 +1011,7 @@ mod tests {
 
     #[test]
     fn grad_spmm_and_pooling() {
-        let adj = Rc::new(SparseMatrix::normalized_adjacency(3, &[(0, 1), (1, 2)]));
+        let adj = Arc::new(SparseMatrix::normalized_adjacency(3, &[(0, 1), (1, 2)]));
         grad_check(rngt(3, 3, 5), move |g, x| {
             let p = g.spmm(adj.clone(), x);
             let m = g.mean_rows(p);
@@ -938,7 +1022,7 @@ mod tests {
     #[test]
     fn grad_concat_select_gather() {
         grad_check(rngt(4, 3, 6), |g, x| {
-            let picked = g.gather_rows(x, Rc::new(vec![0, 2, 2]));
+            let picked = g.gather_rows(x, Arc::new(vec![0, 2, 2]));
             let r0 = g.select_row(picked, 0);
             let r1 = g.select_row(picked, 2);
             let cat = g.concat_cols(&[r0, r1]);
@@ -1049,7 +1133,7 @@ mod tests {
     fn cross_entropy_decreases_under_gradient_step() {
         // One step of gradient descent on logits must reduce CE.
         let logits = rngt(4, 3, 10);
-        let targets = Rc::new(vec![0usize, 1, 2, 0]);
+        let targets = Arc::new(vec![0usize, 1, 2, 0]);
         let mut g = Graph::new();
         let x = g.param(0, logits.clone());
         let loss = g.cross_entropy(x, targets.clone());

@@ -5,8 +5,8 @@ use crate::graph::{Graph, NodeId};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 static NEXT_PARAM_KEY: AtomicUsize = AtomicUsize::new(1);
 
@@ -135,7 +135,7 @@ impl Embedding {
     /// Looks up a sequence of token ids.
     pub fn forward(&self, g: &mut Graph, ids: &[u32]) -> NodeId {
         let t = self.table.bind(g);
-        g.gather_rows(t, Rc::new(ids.to_vec()))
+        g.gather_rows(t, Arc::new(ids.to_vec()))
     }
 }
 
@@ -432,6 +432,7 @@ mod tests {
         let input = Tensor::xavier(4, 8, &mut r);
         let target = Tensor::xavier(4, 8, &mut r);
         let mut opt = crate::optim::Adam::new(0.01);
+        let mut store = crate::grad::GradStore::new();
         let mut first = f32::NAN;
         let mut last = f32::NAN;
         for step in 0..30 {
@@ -444,9 +445,9 @@ mod tests {
                 first = lv;
             }
             last = lv;
-            let grads = g.backward(loss);
-            let pg = g.param_grads(&grads);
-            opt.step(&mut block.params_mut(), &pg);
+            store.clear();
+            g.backward_into(loss, &mut store);
+            opt.step(&mut block.params_mut(), &store);
         }
         assert!(last < first * 0.7, "loss {first} -> {last} should shrink");
     }
@@ -457,8 +458,9 @@ mod tests {
         let mut r = rng();
         let mut mlp = Mlp::new(&[2, 8, 2], &mut r);
         let x = Tensor::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
-        let targets = std::rc::Rc::new(vec![0usize, 1, 1, 0]);
+        let targets = std::sync::Arc::new(vec![0usize, 1, 1, 0]);
         let mut opt = crate::optim::Adam::new(0.05);
+        let mut store = crate::grad::GradStore::new();
         let mut last = f32::NAN;
         for _ in 0..200 {
             let mut g = Graph::new();
@@ -466,9 +468,9 @@ mod tests {
             let logits = mlp.forward(&mut g, xn);
             let loss = g.cross_entropy(logits, targets.clone());
             last = g.value(loss).item();
-            let grads = g.backward(loss);
-            let pg = g.param_grads(&grads);
-            opt.step(&mut mlp.params_mut(), &pg);
+            store.clear();
+            g.backward_into(loss, &mut store);
+            opt.step(&mut mlp.params_mut(), &store);
         }
         assert!(last < 0.1, "XOR should be learnable, loss {last}");
     }

@@ -7,12 +7,13 @@
 //! the paper's PyTorch/GPU stack).
 //!
 //! ```
-//! use nettag_nn::{Adam, Graph, Layer, Mlp, Tensor};
+//! use nettag_nn::{Adam, GradStore, Graph, Layer, Mlp, Tensor};
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! let mut mlp = Mlp::new(&[2, 8, 1], &mut rng);
 //! let mut opt = Adam::new(0.05);
+//! let mut store = GradStore::new();
 //! let x = Tensor::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
 //! let y = Tensor::from_vec(4, 1, vec![0., 1., 1., 0.]);
 //! for _ in 0..50 {
@@ -20,23 +21,32 @@
 //!     let xn = g.constant(x.clone());
 //!     let pred = mlp.forward(&mut g, xn);
 //!     let loss = g.mse(pred, y.clone());
-//!     let grads = g.backward(loss);
-//!     let pg = g.param_grads(&grads);
-//!     opt.step(&mut mlp.params_mut(), &pg);
+//!     store.clear();
+//!     g.backward_into(loss, &mut store);
+//!     opt.step(&mut mlp.params_mut(), &store);
 //! }
 //! ```
+//!
+//! Batched training steps should go through [`data_parallel::step`]:
+//! one tape per sample on worker threads, a small central combine tape,
+//! and a fixed-order gradient reduction that is bitwise identical at any
+//! thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod data_parallel;
 mod gbdt;
+mod grad;
 mod graph;
 mod layers;
 mod loss;
 mod optim;
 mod tensor;
 
+pub use data_parallel::SampleTape;
 pub use gbdt::{GbdtConfig, GbdtRegressor};
+pub use grad::GradStore;
 pub use graph::{Graph, NodeId};
 pub use layers::{
     Embedding, FeedForward, Layer, LayerNorm, Linear, Mlp, MultiHeadAttention, Param,

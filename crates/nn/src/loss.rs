@@ -2,7 +2,7 @@
 //! loss-combination helpers.
 
 use crate::graph::{Graph, NodeId};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// InfoNCE with in-batch negatives (paper eq. (3)):
 ///
@@ -18,7 +18,7 @@ pub fn info_nce(g: &mut Graph, anchors: NodeId, positives: NodeId, temperature: 
     let b = g.normalize_rows(positives);
     let sim = g.matmul_bt(a, b);
     let logits = g.scale(sim, 1.0 / temperature.max(1e-6));
-    let targets = Rc::new((0..n).collect::<Vec<usize>>());
+    let targets = Arc::new((0..n).collect::<Vec<usize>>());
     g.cross_entropy(logits, targets)
 }
 
@@ -78,6 +78,7 @@ mod tests {
         let rot = Tensor::xavier(4, 4, &mut rng);
         let positives = anchors.matmul(&rot);
         let mut opt = Adam::new(0.02);
+        let mut store = crate::grad::GradStore::new();
         let mut first = f32::NAN;
         let mut last = f32::NAN;
         for step in 0..120 {
@@ -91,9 +92,9 @@ mod tests {
                 first = lv;
             }
             last = lv;
-            let grads = g.backward(loss);
-            let pg = g.param_grads(&grads);
-            opt.step(&mut proj.params_mut(), &pg);
+            store.clear();
+            g.backward_into(loss, &mut store);
+            opt.step(&mut proj.params_mut(), &store);
         }
         assert!(last < first * 0.5, "InfoNCE should drop: {first} -> {last}");
     }

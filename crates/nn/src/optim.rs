@@ -1,8 +1,17 @@
 //! Optimizers: Adam with global-norm gradient clipping.
+//!
+//! [`Adam::step`] consumes a [`GradStore`] (filled by
+//! [`crate::Graph::backward_into`] or the data-parallel driver) instead
+//! of cloning `(key, Tensor)` pairs into a scratch hash map: duplicate
+//! bindings were already merged in place while the store filled, the
+//! global-norm clip reduces in the store's deterministic entry order, and
+//! the clip factor is folded into the per-element update so the step
+//! allocates nothing. Parameter updates are elementwise-independent, so
+//! the parameter list is updated in parallel row blocks — bitwise
+//! identical at any thread count.
 
+use crate::grad::GradStore;
 use crate::layers::Param;
-use crate::tensor::Tensor;
-use std::collections::HashMap;
 
 /// The Adam optimizer.
 #[derive(Debug, Clone)]
@@ -36,73 +45,118 @@ impl Adam {
         }
     }
 
-    /// Applies one update step from `(param_key, grad)` pairs (as returned
-    /// by [`crate::Graph::param_grads`]). Gradients for keys not present in
-    /// `params` are ignored; parameters without gradients are untouched.
-    pub fn step(&mut self, params: &mut [&mut Param], grads: &[(usize, Tensor)]) {
+    /// Applies one update step from accumulated gradients. Gradients for
+    /// keys not present in `params` are ignored; parameters without
+    /// gradients are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stored gradient's element count differs from its
+    /// parameter's.
+    pub fn step(&mut self, params: &mut [&mut Param], grads: &GradStore) {
         self.t += 1;
-        // Merge duplicate keys (a param bound several times in one pass).
-        let mut merged: HashMap<usize, Tensor> = HashMap::new();
-        for (k, g) in grads {
-            merged
-                .entry(*k)
-                .and_modify(|acc| acc.add_assign(g))
-                .or_insert_with(|| g.clone());
-        }
-        // Global norm clip.
+        // Global norm clip, folded into the per-element update instead of
+        // rescaling the stored gradients.
+        let mut clip_scale = 1.0f32;
         if self.clip > 0.0 {
-            let total: f32 = merged
-                .values()
-                .map(|g| g.data.iter().map(|v| v * v).sum::<f32>())
-                .sum::<f32>()
-                .sqrt();
+            let total = grads.sq_norm().sqrt();
             if total > self.clip {
-                let s = self.clip / total;
-                for g in merged.values_mut() {
-                    for v in g.data.iter_mut() {
-                        *v *= s;
-                    }
-                }
+                clip_scale = self.clip / total;
             }
         }
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);
-        for p in params.iter_mut() {
-            let Some(g) = merged.get(&p.key) else {
-                continue;
-            };
-            for i in 0..p.value.data.len() {
-                let gi = g.data[i];
-                p.m.data[i] = self.beta1 * p.m.data[i] + (1.0 - self.beta1) * gi;
-                p.v.data[i] = self.beta2 * p.v.data[i] + (1.0 - self.beta2) * gi * gi;
-                let mhat = p.m.data[i] / bc1;
-                let vhat = p.v.data[i] / bc2;
-                let mut upd = self.lr * mhat / (vhat.sqrt() + self.eps);
-                if self.weight_decay > 0.0 {
-                    upd += self.lr * self.weight_decay * p.value.data[i];
+        let (lr, beta1, beta2, eps, weight_decay) =
+            (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        // Each parameter's update touches only its own value/m/v buffers,
+        // and every element's update is independent — parallelize over
+        // the parameter list (each param updated by exactly one worker).
+        // Groups are balanced by element count, not param count: a bias
+        // vector and a weight matrix must not count the same, or one
+        // worker ends up with nearly all the arithmetic.
+        let mut groups = balanced_groups(params, nettag_par::num_threads());
+        nettag_par::for_each_row_block_mut(&mut groups, 1, |_, chunk| {
+            for group in chunk.iter_mut() {
+                for p in group.iter_mut() {
+                    let Some(g) = grads.get(p.key) else {
+                        continue;
+                    };
+                    assert_eq!(
+                        g.data.len(),
+                        p.value.data.len(),
+                        "gradient/parameter size mismatch for key {}",
+                        p.key
+                    );
+                    for i in 0..p.value.data.len() {
+                        let gi = g.data[i] * clip_scale;
+                        p.m.data[i] = beta1 * p.m.data[i] + (1.0 - beta1) * gi;
+                        p.v.data[i] = beta2 * p.v.data[i] + (1.0 - beta2) * gi * gi;
+                        let mhat = p.m.data[i] / bc1;
+                        let vhat = p.v.data[i] / bc2;
+                        let mut upd = lr * mhat / (vhat.sqrt() + eps);
+                        if weight_decay > 0.0 {
+                            upd += lr * weight_decay * p.value.data[i];
+                        }
+                        p.value.data[i] -= upd;
+                    }
                 }
-                p.value.data[i] -= upd;
             }
-        }
+        });
     }
+}
+
+/// Splits the parameter list into at most `parts` contiguous groups of
+/// near-equal total **element** count (greedy, target = total/parts).
+/// Grouping only affects which worker owns which parameters — per-element
+/// math is independent, so any grouping gives bitwise-identical results.
+fn balanced_groups<'a, 'b>(
+    params: &'a mut [&'b mut Param],
+    parts: usize,
+) -> Vec<&'a mut [&'b mut Param]> {
+    let total: usize = params.iter().map(|p| p.len()).sum();
+    let target = total.div_ceil(parts.max(1)).max(1);
+    let mut groups = Vec::with_capacity(parts);
+    let mut rest = params;
+    while !rest.is_empty() {
+        let mut acc = 0usize;
+        let mut take = 0usize;
+        while take < rest.len() && (take == 0 || acc + rest[take].len() <= target) {
+            acc += rest[take].len();
+            take += 1;
+        }
+        let (head, tail) = rest.split_at_mut(take);
+        groups.push(head);
+        rest = tail;
+    }
+    groups
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::Graph;
+    use crate::tensor::Tensor;
+
+    fn store_of(pairs: &[(usize, Tensor)]) -> GradStore {
+        let mut s = GradStore::new();
+        for (k, g) in pairs {
+            s.accumulate(*k, g);
+        }
+        s
+    }
 
     #[test]
     fn adam_minimizes_quadratic() {
         let mut p = Param::new(Tensor::scalar(5.0));
         let mut opt = Adam::new(0.2);
+        let mut store = GradStore::new();
         for _ in 0..100 {
+            store.clear();
             let mut g = Graph::new();
             let x = p.bind(&mut g);
             let loss = g.mse(x, Tensor::scalar(1.5));
-            let grads = g.backward(loss);
-            let pg = g.param_grads(&grads);
-            opt.step(&mut [&mut p], &pg);
+            g.backward_into(loss, &mut store);
+            opt.step(&mut [&mut p], &store);
         }
         assert!(
             (p.value.item() - 1.5).abs() < 0.05,
@@ -116,7 +170,7 @@ mod tests {
         let mut p = Param::new(Tensor::scalar(0.0));
         let mut opt = Adam::new(0.1);
         opt.clip = 0.5;
-        let huge = vec![(p.key, Tensor::scalar(1e6))];
+        let huge = store_of(&[(p.key, Tensor::scalar(1e6))]);
         opt.step(&mut [&mut p], &huge);
         // Step magnitude bounded by lr regardless of raw grad.
         assert!(p.value.item().abs() <= 0.11);
@@ -127,14 +181,14 @@ mod tests {
         let mut p = Param::new(Tensor::scalar(0.0));
         let mut opt = Adam::new(0.1);
         opt.clip = 0.0;
-        let twice = vec![(p.key, Tensor::scalar(1.0)), (p.key, Tensor::scalar(1.0))];
+        let twice = store_of(&[(p.key, Tensor::scalar(1.0)), (p.key, Tensor::scalar(1.0))]);
         opt.step(&mut [&mut p], &twice);
         let once_val = {
             let mut q = Param::new(Tensor::scalar(0.0));
             let qk = q.key;
             let mut o2 = Adam::new(0.1);
             o2.clip = 0.0;
-            o2.step(&mut [&mut q], &[(qk, Tensor::scalar(2.0))]);
+            o2.step(&mut [&mut q], &store_of(&[(qk, Tensor::scalar(2.0))]));
             q.value.item()
         };
         assert!((p.value.item() - once_val).abs() < 1e-6);
@@ -144,7 +198,72 @@ mod tests {
     fn missing_grads_leave_params_unchanged() {
         let mut p = Param::new(Tensor::scalar(3.0));
         let mut opt = Adam::new(0.1);
-        opt.step(&mut [&mut p], &[]);
+        opt.step(&mut [&mut p], &GradStore::new());
         assert_eq!(p.value.item(), 3.0);
+    }
+
+    #[test]
+    fn stale_keys_from_previous_steps_leave_params_unchanged() {
+        // A parameter that received a gradient in step t but not in step
+        // t+1 (e.g. an optional head never bound that step) must not
+        // drift on momentum: after clear(), its key must look absent.
+        let mut p = Param::new(Tensor::scalar(1.0));
+        let mut opt = Adam::new(0.1);
+        let mut store = GradStore::new();
+        store.accumulate(p.key, &Tensor::scalar(2.0));
+        opt.step(&mut [&mut p], &store);
+        let after_first = p.value.item();
+        assert_ne!(after_first, 1.0, "first step applies");
+        store.clear();
+        opt.step(&mut [&mut p], &store);
+        assert_eq!(
+            p.value.item(),
+            after_first,
+            "no gradient this step, no update"
+        );
+    }
+
+    #[test]
+    fn balanced_groups_cover_params_in_order() {
+        let mut params: Vec<Param> = (0..7)
+            .map(|i| Param::zeros(1, [1usize, 300, 2, 2, 300, 1, 5][i]))
+            .collect();
+        let keys: Vec<usize> = params.iter().map(|p| p.key).collect();
+        let mut refs: Vec<&mut Param> = params.iter_mut().collect();
+        let groups = super::balanced_groups(&mut refs, 3);
+        let flat: Vec<usize> = groups
+            .iter()
+            .flat_map(|g| g.iter().map(|p| p.key))
+            .collect();
+        assert_eq!(flat, keys, "grouping must preserve order and cover all");
+        let max_elems = groups
+            .iter()
+            .map(|g| g.iter().map(|p| p.len()).sum::<usize>())
+            .max()
+            .expect("non-empty");
+        assert!(max_elems <= 305, "big params split across groups");
+    }
+
+    #[test]
+    fn store_reuse_across_steps_matches_fresh_stores() {
+        // One optimizer reuses a cleared store, the other builds fresh
+        // stores every step — identical trajectories.
+        let mut p1 = Param::new(Tensor::from_vec(1, 3, vec![2.0, -1.0, 0.5]));
+        let mut p2 = p1.clone();
+        let mut opt1 = Adam::new(0.05);
+        let mut opt2 = Adam::new(0.05);
+        let mut reused = GradStore::new();
+        for step in 0..10 {
+            let grad = Tensor::from_vec(1, 3, vec![0.3 * step as f32, -0.1, 0.2]);
+            reused.clear();
+            reused.accumulate(p1.key, &grad);
+            opt1.step(&mut [&mut p1], &reused);
+            let mut fresh = GradStore::new();
+            fresh.accumulate(p2.key, &grad);
+            opt2.step(&mut [&mut p2], &fresh);
+        }
+        assert_eq!(p1.value.data, p2.value.data);
+        assert_eq!(p1.m.data, p2.m.data);
+        assert_eq!(p1.v.data, p2.v.data);
     }
 }

@@ -115,7 +115,7 @@ fn fixed_seed_tagformer_step_gradients_unchanged() {
     let w2 = Tensor::xavier(dim, 8, &mut rng);
     let b2 = Tensor::xavier(1, 8, &mut rng);
     let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
-    let adj = std::rc::Rc::new(SparseMatrix::normalized_adjacency(n, &edges));
+    let adj = std::sync::Arc::new(SparseMatrix::normalized_adjacency(n, &edges));
 
     let run = |fused: bool| -> (f32, Vec<(usize, Tensor)>) {
         let mut g = Graph::new();
@@ -140,7 +140,7 @@ fn fixed_seed_tagformer_step_gradients_unchanged() {
         };
         let zn = g.normalize_rows(z);
         let sim = g.matmul_bt(zn, zn);
-        let loss = g.cross_entropy(sim, std::rc::Rc::new((0..n).collect()));
+        let loss = g.cross_entropy(sim, std::sync::Arc::new((0..n).collect()));
         let lv = g.value(loss).item();
         let grads = g.backward(loss);
         (lv, g.param_grads(&grads))

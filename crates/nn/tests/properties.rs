@@ -3,7 +3,7 @@
 
 use nettag_nn::{Graph, NodeId, SparseMatrix, Tensor};
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
     prop::collection::vec(-1.5f32..1.5, rows * cols)
@@ -81,13 +81,13 @@ proptest! {
             let normed = g.normalize_rows(xn);
             let sim = g.matmul_bt(normed, normed);
             let logits = g.scale(sim, 4.0);
-            g.cross_entropy(logits, Rc::new(vec![0, 1, 2, 3]))
+            g.cross_entropy(logits, Arc::new(vec![0, 1, 2, 3]))
         })?;
     }
 
     #[test]
     fn gradcheck_graph_propagation(x in arb_tensor(4, 3)) {
-        let adj = Rc::new(SparseMatrix::normalized_adjacency(
+        let adj = Arc::new(SparseMatrix::normalized_adjacency(
             4,
             &[(0, 1), (1, 2), (2, 3), (0, 3)],
         ));
@@ -102,7 +102,7 @@ proptest! {
     #[test]
     fn gradcheck_concat_gather_stack(x in arb_tensor(4, 3)) {
         check(x, |g, xn| {
-            let picked = g.gather_rows(xn, Rc::new(vec![1, 1, 3]));
+            let picked = g.gather_rows(xn, Arc::new(vec![1, 1, 3]));
             let r0 = g.select_row(picked, 0);
             let r1 = g.select_row(picked, 2);
             let stacked = g.stack_rows(&[r0, r1]);

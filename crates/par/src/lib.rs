@@ -171,6 +171,132 @@ where
     map_indexed(items.len(), |i| f(&items[i]))
 }
 
+/// Consuming parallel map: applies `f` to every element of `items`,
+/// preserving order. Work is partitioned into contiguous ranges.
+fn map_vec<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let threads = effective_threads();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let ranges = split_ranges(n, threads);
+    // Drain into per-thread chunks up front (cheap pointer moves), then
+    // map each chunk on its own worker.
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(ranges.len());
+    let mut it = items.into_iter();
+    for r in &ranges {
+        chunks.push(it.by_ref().take(r.len()).collect());
+    }
+    let mut parts: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let fr = &f;
+                scope.spawn(move || enter_region(|| chunk.into_iter().map(fr).collect::<Vec<T>>()))
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel indexed map followed by a **fixed-order pairwise reduce**:
+/// `f(i)` runs for `i in 0..n` (partitioned like [`map_indexed`]), then
+/// results are folded with `reduce` in rounds of adjacent index-ascending
+/// pairs — `(0,1), (2,3), …` — until one value remains. The reduction
+/// tree's shape depends only on `n`, never on the worker count, so for a
+/// deterministic `f` the result is **bitwise identical at any thread
+/// count** even when `reduce` is not exactly associative (floating-point
+/// gradient merging). Pair merges within a round run in parallel.
+///
+/// Returns `None` when `n == 0`.
+pub fn map_reduce<T, M, R>(n: usize, map: M, reduce: R) -> Option<T>
+where
+    T: Send,
+    M: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    let mut items = map_indexed(n, map);
+    while items.len() > 1 {
+        let mut pairs: Vec<(T, Option<T>)> = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        items = map_vec(pairs, |(a, b)| match b {
+            Some(b) => reduce(a, b),
+            None => a,
+        });
+    }
+    items.pop()
+}
+
+/// Partitions three row-major buffers with a shared row count into
+/// per-thread blocks of whole rows and calls `f(first_row, a_rows,
+/// b_rows, c_rows)` for each, in parallel. All three buffers are split at
+/// the same row boundaries, so a worker exclusively owns matching rows of
+/// each — the primitive behind the row-parallel layer_norm (out / xhat /
+/// inv_std) and Adam (value / m / v) loops.
+///
+/// # Panics
+///
+/// Panics if any buffer is not a multiple of its width or the row counts
+/// disagree (for non-zero widths).
+pub fn for_each_zip3_mut<A, B, C, F>(
+    a: &mut [A],
+    wa: usize,
+    b: &mut [B],
+    wb: usize,
+    c: &mut [C],
+    wc: usize,
+    f: F,
+) where
+    A: Send,
+    B: Send,
+    C: Send,
+    F: Fn(usize, &mut [A], &mut [B], &mut [C]) + Sync,
+{
+    if wa == 0 || a.is_empty() {
+        return;
+    }
+    assert_eq!(a.len() % wa, 0, "buffer a is not row-aligned");
+    assert_eq!(b.len() % wb.max(1), 0, "buffer b is not row-aligned");
+    assert_eq!(c.len() % wc.max(1), 0, "buffer c is not row-aligned");
+    let rows = a.len() / wa;
+    assert_eq!(b.len() / wb.max(1), rows, "row counts must match (b)");
+    assert_eq!(c.len() / wc.max(1), rows, "row counts must match (c)");
+    let threads = effective_threads();
+    if threads <= 1 || rows <= 1 {
+        f(0, a, b, c);
+        return;
+    }
+    let ranges = split_ranges(rows, threads);
+    std::thread::scope(|scope| {
+        let (mut ra, mut rb, mut rc) = (a, b, c);
+        for r in &ranges {
+            let (ca, ta) = ra.split_at_mut(r.len() * wa);
+            let (cb, tb) = rb.split_at_mut(r.len() * wb);
+            let (cc, tc) = rc.split_at_mut(r.len() * wc);
+            (ra, rb, rc) = (ta, tb, tc);
+            let start_row = r.start;
+            let fr = &f;
+            scope.spawn(move || enter_region(|| fr(start_row, ca, cb, cc)));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +333,73 @@ mod tests {
         let par = map_slice(&items, |x| x * x);
         let ser: Vec<i64> = items.iter().map(|x| x * x).collect();
         assert_eq!(par, ser);
+    }
+
+    /// Replays the documented pairwise tree shape serially.
+    fn pairwise_ref<T>(mut items: Vec<T>, reduce: impl Fn(T, T) -> T) -> Option<T> {
+        while items.len() > 1 {
+            let mut next = Vec::with_capacity(items.len().div_ceil(2));
+            let mut it = items.into_iter();
+            while let Some(a) = it.next() {
+                next.push(match it.next() {
+                    Some(b) => reduce(a, b),
+                    None => a,
+                });
+            }
+            items = next;
+        }
+        items.pop()
+    }
+
+    #[test]
+    fn map_reduce_empty_is_none() {
+        assert_eq!(map_reduce(0, |i| i, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn map_reduce_matches_serial_sum() {
+        for n in [1usize, 2, 3, 7, 8, 100, 257] {
+            let got = map_reduce(n, |i| i as u64, |a, b| a + b).expect("n > 0");
+            assert_eq!(got, (0..n as u64).sum::<u64>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_tree_shape_is_fixed() {
+        // Track the merge tree as nested strings: the shape (and thus the
+        // floating-point merge order it implies) must match the serial
+        // pairwise reference exactly, whatever the thread count.
+        for n in [1usize, 2, 5, 6, 9, 16, 31] {
+            let par = map_reduce(n, |i| i.to_string(), |a, b| format!("({a}+{b})"));
+            let ser = pairwise_ref((0..n).map(|i| i.to_string()).collect(), |a, b| {
+                format!("({a}+{b})")
+            });
+            assert_eq!(par, ser, "n={n}");
+        }
+    }
+
+    #[test]
+    fn zip3_partitions_rows_consistently() {
+        let rows = 37;
+        let (wa, wb, wc) = (4usize, 2usize, 1usize);
+        let mut a = vec![0u32; rows * wa];
+        let mut b = vec![0u32; rows * wb];
+        let mut c = vec![0u32; rows * wc];
+        for_each_zip3_mut(&mut a, wa, &mut b, wb, &mut c, wc, |first, ca, cb, cc| {
+            for (r, row) in ca.chunks_exact_mut(wa).enumerate() {
+                row.fill((first + r) as u32);
+            }
+            for (r, row) in cb.chunks_exact_mut(wb).enumerate() {
+                row.fill((first + r) as u32);
+            }
+            for (r, row) in cc.chunks_exact_mut(wc).enumerate() {
+                row.fill((first + r) as u32);
+            }
+        });
+        for r in 0..rows {
+            assert!(a[r * wa..(r + 1) * wa].iter().all(|&v| v == r as u32));
+            assert!(b[r * wb..(r + 1) * wb].iter().all(|&v| v == r as u32));
+            assert_eq!(c[r], r as u32);
+        }
     }
 }

@@ -17,11 +17,14 @@
 
 use crate::gnn::{GnnConfig, GnnEncoder};
 use nettag_netlist::{aig_to_netlist, netlist_to_aig_tracked, Aig, CellKind, GateId, Netlist};
-use nettag_nn::{info_nce, Adam, Graph, Layer, Linear, Mlp, SparseMatrix, Tensor};
+use nettag_nn::{
+    data_parallel, info_nce, Adam, GradStore, Graph, Layer, Linear, Mlp, NodeId, SampleTape,
+    SparseMatrix, Tensor,
+};
 use nettag_synth::{BlockLabel, Design};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// AIG node feature width: [is_const, is_pi, is_and, fanout, depth-frac].
 pub const AIG_FEATS: usize = 5;
@@ -110,6 +113,14 @@ fn simulate_probabilities(aig: &Aig, netlist: &Netlist, vars: &[u32], seed: u64)
         .collect()
 }
 
+/// Normalized adjacency of an AIG sample's netlist graph (CSR).
+fn aig_adjacency(s: &AigSample) -> Arc<SparseMatrix> {
+    Arc::new(SparseMatrix::normalized_adjacency(
+        s.features.rows,
+        &s.edges,
+    ))
+}
+
 /// A frozen pre-trained AIG encoder with its pre-training style tag.
 pub struct PretrainedAigEncoder {
     encoder: GnnEncoder,
@@ -128,34 +139,43 @@ pub fn pretrain_fgnn_like(
     let mut encoder = GnnEncoder::new(AIG_FEATS, config);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF6);
     let mut opt = Adam::new(config.lr);
+    let mut store = GradStore::new();
     let n = samples.len().min(variants.len());
+    // Adjacencies are step-invariant — build each CSR once.
+    let sample_adjs: Vec<Arc<SparseMatrix>> = samples[..n].iter().map(aig_adjacency).collect();
+    let variant_adjs: Vec<Arc<SparseMatrix>> = variants[..n].iter().map(aig_adjacency).collect();
     for _ in 0..steps {
-        let mut g = Graph::new();
-        let mut a_rows = Vec::new();
-        let mut b_rows = Vec::new();
-        for _ in 0..4usize.min(n) {
-            let i = rng.gen_range(0..n);
-            let fa = g.constant(samples[i].features.clone());
-            let adj_a = Rc::new(SparseMatrix::normalized_adjacency(
-                samples[i].features.rows,
-                &samples[i].edges,
-            ));
-            let (_, pa) = encoder.forward(&mut g, fa, &adj_a);
-            a_rows.push(pa);
-            let fb = g.constant(variants[i].features.clone());
-            let adj_b = Rc::new(SparseMatrix::normalized_adjacency(
-                variants[i].features.rows,
-                &variants[i].edges,
-            ));
-            let (_, pb) = encoder.forward(&mut g, fb, &adj_b);
-            b_rows.push(pb);
+        // Batch indices drawn up front; each (sample, variant) pair then
+        // encodes on its own tape, joined only at the InfoNCE.
+        let idx: Vec<usize> = (0..4usize.min(n)).map(|_| rng.gen_range(0..n)).collect();
+        if idx.is_empty() {
+            break;
         }
-        let a = g.stack_rows(&a_rows);
-        let b = g.stack_rows(&b_rows);
-        let loss = info_nce(&mut g, a, b, 0.2);
-        let grads = g.backward(loss);
-        let pg = g.param_grads(&grads);
-        opt.step(&mut encoder.params_mut(), &pg);
+        let enc_ref = &encoder;
+        data_parallel::step(
+            idx.len(),
+            |j| {
+                let i = idx[j];
+                let mut g = Graph::new();
+                let fa = g.constant(samples[i].features.clone());
+                let (_, pa) = enc_ref.forward(&mut g, fa, &sample_adjs[i]);
+                let fb = g.constant(variants[i].features.clone());
+                let (_, pb) = enc_ref.forward(&mut g, fb, &variant_adjs[i]);
+                SampleTape {
+                    graph: g,
+                    outputs: vec![pa, pb],
+                }
+            },
+            |g, leaves| {
+                let a_rows: Vec<NodeId> = leaves.iter().map(|l| l[0]).collect();
+                let b_rows: Vec<NodeId> = leaves.iter().map(|l| l[1]).collect();
+                let a = g.stack_rows(&a_rows);
+                let b = g.stack_rows(&b_rows);
+                info_nce(g, a, b, 0.2)
+            },
+            &mut store,
+        );
+        opt.step(&mut encoder.params_mut(), &store);
     }
     PretrainedAigEncoder {
         encoder,
@@ -174,24 +194,33 @@ pub fn pretrain_deepgate_like(
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD6);
     let mut head = Linear::new(config.dim, 1, &mut rng);
     let mut opt = Adam::new(config.lr);
+    let mut store = GradStore::new();
+    let adjs: Vec<Arc<SparseMatrix>> = samples.iter().map(aig_adjacency).collect();
     for _ in 0..steps {
         let i = rng.gen_range(0..samples.len());
-        let s = &samples[i];
-        let mut g = Graph::new();
-        let f = g.constant(s.features.clone());
-        let adj = Rc::new(SparseMatrix::normalized_adjacency(
-            s.features.rows,
-            &s.edges,
-        ));
-        let (nodes, _) = encoder.forward(&mut g, f, &adj);
-        let pred = head.forward(&mut g, nodes);
-        let target = Tensor::from_vec(s.sim_prob.len(), 1, s.sim_prob.clone());
-        let loss = g.mse(pred, target);
-        let grads = g.backward(loss);
-        let pg = g.param_grads(&grads);
+        let enc_ref = &encoder;
+        let head_ref = &head;
+        data_parallel::step(
+            1,
+            |_| {
+                let s = &samples[i];
+                let mut g = Graph::new();
+                let f = g.constant(s.features.clone());
+                let (nodes, _) = enc_ref.forward(&mut g, f, &adjs[i]);
+                let pred = head_ref.forward(&mut g, nodes);
+                let target = Tensor::from_vec(s.sim_prob.len(), 1, s.sim_prob.clone());
+                let loss = g.mse(pred, target);
+                SampleTape {
+                    graph: g,
+                    outputs: vec![loss],
+                }
+            },
+            |_, leaves| leaves[0][0],
+            &mut store,
+        );
         let mut params = encoder.params_mut();
         params.extend(head.params_mut());
-        opt.step(&mut params, &pg);
+        opt.step(&mut params, &store);
     }
     PretrainedAigEncoder {
         encoder,
@@ -204,11 +233,7 @@ impl PretrainedAigEncoder {
     pub fn node_embeddings(&self, sample: &AigSample) -> Tensor {
         let mut g = Graph::new();
         let f = g.constant(sample.features.clone());
-        let adj = Rc::new(SparseMatrix::normalized_adjacency(
-            sample.features.rows,
-            &sample.edges,
-        ));
-        let (nodes, _) = self.encoder.forward(&mut g, f, &adj);
+        let (nodes, _) = self.encoder.forward(&mut g, f, &aig_adjacency(sample));
         g.value(nodes).clone()
     }
 }

@@ -9,10 +9,13 @@
 //! is exactly the representational gap NetTAG closes.
 
 use nettag_netlist::{Library, Netlist, ALL_CELL_KINDS};
-use nettag_nn::{Adam, Graph, Layer, Linear, Mlp, NodeId, Param, SparseMatrix, Tensor};
+use nettag_nn::{
+    data_parallel, weighted_sum, Adam, GradStore, Graph, Layer, Linear, Mlp, NodeId, Param,
+    SampleTape, SparseMatrix, Tensor,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Structural node-feature width: one-hot kind + fan-in/out degree +
 /// depth fraction + area + input cap + intrinsic delay.
@@ -94,7 +97,7 @@ impl GnnEncoder {
         &self,
         g: &mut Graph,
         features: NodeId,
-        adj: &Rc<SparseMatrix>,
+        adj: &Arc<SparseMatrix>,
     ) -> (NodeId, NodeId) {
         let mut x = self.input.forward(g, features);
         x = g.relu(x);
@@ -137,13 +140,17 @@ pub struct GnnGraph {
 }
 
 impl GnnGraph {
-    fn adj(&self) -> Rc<SparseMatrix> {
-        Rc::new(SparseMatrix::normalized_adjacency(
+    fn adj(&self) -> Arc<SparseMatrix> {
+        Arc::new(SparseMatrix::normalized_adjacency(
             self.features.rows,
             &self.edges,
         ))
     }
 }
+
+/// Epoch-invariant per-graph training state: graph index, labeled node
+/// ids, their class targets, and the normalized adjacency.
+type PreparedGraph = (usize, Arc<Vec<u32>>, Arc<Vec<usize>>, Arc<SparseMatrix>);
 
 impl GnnNodeClassifier {
     /// Trains on labeled graphs.
@@ -153,8 +160,12 @@ impl GnnNodeClassifier {
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC1A);
         let mut head = Mlp::new(&[config.dim, config.dim, classes], &mut rng);
         let mut opt = Adam::new(config.lr);
-        for _ in 0..config.epochs {
-            for gr in graphs {
+        let mut store = GradStore::new();
+        // Labeled-node index sets and adjacencies are epoch-invariant.
+        let prepared: Vec<PreparedGraph> = graphs
+            .iter()
+            .enumerate()
+            .filter_map(|(gi, gr)| {
                 let labeled: Vec<u32> = gr
                     .node_labels
                     .iter()
@@ -163,23 +174,49 @@ impl GnnNodeClassifier {
                     .map(|(i, _)| i as u32)
                     .collect();
                 if labeled.is_empty() {
-                    continue;
+                    return None;
                 }
-                let mut g = Graph::new();
-                let f = g.constant(gr.features.clone());
-                let (nodes, _) = encoder.forward(&mut g, f, &gr.adj());
-                let picked = g.gather_rows(nodes, Rc::new(labeled.clone()));
-                let logits = head.forward(&mut g, picked);
                 let targets: Vec<usize> = labeled
                     .iter()
                     .map(|&i| gr.node_labels[i as usize])
                     .collect();
-                let loss = g.cross_entropy(logits, Rc::new(targets));
-                let grads = g.backward(loss);
-                let pg = g.param_grads(&grads);
+                Some((gi, Arc::new(labeled), Arc::new(targets), gr.adj()))
+            })
+            .collect();
+        if !prepared.is_empty() {
+            for _ in 0..config.epochs {
+                // One data-parallel step per epoch: each labeled graph is
+                // a sample (its own tape); the combine averages the
+                // per-graph cross-entropies.
+                let enc_ref = &encoder;
+                let head_ref = &head;
+                data_parallel::step(
+                    prepared.len(),
+                    |i| {
+                        let (gi, labeled, targets, adj) = &prepared[i];
+                        let gr = &graphs[*gi];
+                        let mut g = Graph::new();
+                        let f = g.constant(gr.features.clone());
+                        let (nodes, _) = enc_ref.forward(&mut g, f, adj);
+                        let picked = g.gather_rows(nodes, labeled.clone());
+                        let logits = head_ref.forward(&mut g, picked);
+                        let loss = g.cross_entropy(logits, targets.clone());
+                        SampleTape {
+                            graph: g,
+                            outputs: vec![loss],
+                        }
+                    },
+                    |g, leaves| {
+                        let w = 1.0 / leaves.len() as f32;
+                        let weighted: Vec<(NodeId, f32)> =
+                            leaves.iter().map(|l| (l[0], w)).collect();
+                        weighted_sum(g, &weighted)
+                    },
+                    &mut store,
+                );
                 let mut params = encoder.params_mut();
                 params.extend(head.params_mut());
-                opt.step(&mut params, &pg);
+                opt.step(&mut params, &store);
             }
         }
         GnnNodeClassifier { encoder, head }
@@ -233,27 +270,40 @@ impl GnnGraphModel {
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E6);
         let mut head = Mlp::new(&[config.dim, config.dim, 1], &mut rng);
         let mut opt = Adam::new(config.lr);
+        let mut store = GradStore::new();
+        let adjs: Vec<Arc<SparseMatrix>> = graphs.iter().map(|gr| gr.adj()).collect();
+        let y = Tensor::from_vec(
+            targets.len(),
+            1,
+            targets.iter().map(|t| (t - mean) / std).collect(),
+        );
         for _ in 0..config.epochs {
-            let mut g = Graph::new();
-            let mut pooled_rows = Vec::with_capacity(graphs.len());
-            for gr in graphs {
-                let f = g.constant(gr.features.clone());
-                let (_, pooled) = encoder.forward(&mut g, f, &gr.adj());
-                pooled_rows.push(pooled);
-            }
-            let batch = g.stack_rows(&pooled_rows);
-            let pred = head.forward(&mut g, batch);
-            let y = Tensor::from_vec(
-                targets.len(),
-                1,
-                targets.iter().map(|t| (t - mean) / std).collect(),
+            // Per-graph encoder tapes in parallel; the shared head runs
+            // on the central tape over the stacked pooled embeddings.
+            let enc_ref = &encoder;
+            let head_ref = &head;
+            data_parallel::step(
+                graphs.len(),
+                |i| {
+                    let mut g = Graph::new();
+                    let f = g.constant(graphs[i].features.clone());
+                    let (_, pooled) = enc_ref.forward(&mut g, f, &adjs[i]);
+                    SampleTape {
+                        graph: g,
+                        outputs: vec![pooled],
+                    }
+                },
+                |g, leaves| {
+                    let rows: Vec<NodeId> = leaves.iter().map(|l| l[0]).collect();
+                    let batch = g.stack_rows(&rows);
+                    let pred = head_ref.forward(g, batch);
+                    g.mse(pred, y.clone())
+                },
+                &mut store,
             );
-            let loss = g.mse(pred, y);
-            let grads = g.backward(loss);
-            let pg = g.param_grads(&grads);
             let mut params = encoder.params_mut();
             params.extend(head.params_mut());
-            opt.step(&mut params, &pg);
+            opt.step(&mut params, &store);
         }
         GnnGraphModel {
             encoder,
@@ -276,23 +326,34 @@ impl GnnGraphModel {
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E7);
         let mut head = Mlp::new(&[config.dim, config.dim, classes], &mut rng);
         let mut opt = Adam::new(config.lr);
-        let targets = Rc::new(labels.to_vec());
+        let mut store = GradStore::new();
+        let targets = Arc::new(labels.to_vec());
+        let adjs: Vec<Arc<SparseMatrix>> = graphs.iter().map(|gr| gr.adj()).collect();
         for _ in 0..config.epochs {
-            let mut g = Graph::new();
-            let mut pooled_rows = Vec::with_capacity(graphs.len());
-            for gr in graphs {
-                let f = g.constant(gr.features.clone());
-                let (_, pooled) = encoder.forward(&mut g, f, &gr.adj());
-                pooled_rows.push(pooled);
-            }
-            let batch = g.stack_rows(&pooled_rows);
-            let logits = head.forward(&mut g, batch);
-            let loss = g.cross_entropy(logits, targets.clone());
-            let grads = g.backward(loss);
-            let pg = g.param_grads(&grads);
+            let enc_ref = &encoder;
+            let head_ref = &head;
+            data_parallel::step(
+                graphs.len(),
+                |i| {
+                    let mut g = Graph::new();
+                    let f = g.constant(graphs[i].features.clone());
+                    let (_, pooled) = enc_ref.forward(&mut g, f, &adjs[i]);
+                    SampleTape {
+                        graph: g,
+                        outputs: vec![pooled],
+                    }
+                },
+                |g, leaves| {
+                    let rows: Vec<NodeId> = leaves.iter().map(|l| l[0]).collect();
+                    let batch = g.stack_rows(&rows);
+                    let logits = head_ref.forward(g, batch);
+                    g.cross_entropy(logits, targets.clone())
+                },
+                &mut store,
+            );
             let mut params = encoder.params_mut();
             params.extend(head.params_mut());
-            opt.step(&mut params, &pg);
+            opt.step(&mut params, &store);
         }
         GnnGraphModel {
             encoder,
