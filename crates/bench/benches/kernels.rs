@@ -143,6 +143,33 @@ fn main() {
         seed_seconds: Some(t_seed),
     });
 
+    // --- SpMM: degree-skewed (power-law) 10k nodes / ~40k edges ------
+    // Uniform shapes hide the row imbalance real netlists have: clock and
+    // reset nets fan out to thousands of sinks while most gates drive a
+    // handful. Sources follow an approximate Zipf draw so a few hub rows
+    // carry most of the entries, stressing dynamic task claiming and the
+    // per-row column-blocked kernel.
+    let hub_edges: Vec<(u32, u32)> = (0..40_000)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-9..1.0f64);
+            // Inverse-CDF of an (unnormalized) power law p(r) ~ r^-0.9:
+            // rank in [0, n), heavily concentrated near 0.
+            let rank = ((n as f64).powf(1.0 - 0.9) * u).powf(1.0 / (1.0 - 0.9));
+            let src = (rank as u32).min(n as u32 - 1);
+            (src, rng.gen_range(0..n as u32))
+        })
+        .collect();
+    let hub_adj = SparseMatrix::normalized_adjacency(n, &hub_edges);
+    let hub_x = Tensor::xavier(n, 64, &mut rng);
+    let seed_hub = SeedSparse::from_csr(&hub_adj);
+    let t_new = time_it(|| hub_adj.matmul(&hub_x));
+    let t_seed = time_it(|| seed_hub.matmul(&hub_x));
+    entries.push(Entry {
+        name: "spmm_powerlaw_10k_40k",
+        seconds: t_new,
+        seed_seconds: Some(t_seed),
+    });
+
     // --- autograd backward on an MLP step ---------------------------
     let mut mlp_rng = StdRng::seed_from_u64(7);
     let mlp = Mlp::new(&[128, 256, 256, 64], &mut mlp_rng);

@@ -1,0 +1,283 @@
+//! Serving-engine throughput/latency bench with a JSON baseline.
+//!
+//! Drives the `nettag-serve` engine with 1, 8, and 64 concurrent
+//! blocking clients, cold (every request a structure the engine has
+//! never seen) and warm (every request a cache hit), and compares
+//! against the *sequential offline baseline*: the same request set
+//! answered one-by-one through `NetTag::embed_tag` with no engine, no
+//! batching, and no cache — exactly what a caller without the serving
+//! layer would run.
+//!
+//! Reported per scenario: p50/p99 request latency (measured at the
+//! client, so it includes the batching window) and requests/second.
+//! Derived headlines:
+//!
+//! * `batched_vs_single_request_c8` — cold 8-client throughput over
+//!   cold single-client (single-request serving) throughput: the
+//!   dynamic-batching term (must be > 1).
+//! * `warm_speedup_c8` — warm over cold 8-client throughput: the
+//!   structural-hash cache term.
+//! * `batched_vs_sequential_offline_c8` — cold 8-client throughput
+//!   over the no-engine offline loop. On a single-core host this can
+//!   sit below 1 (batching cannot parallelize serial compute, and the
+//!   engine pays IPC per request); on multi-core hosts the batched
+//!   ExprLLM pass fans out across the worker pool.
+//!
+//! Run with `cargo bench -p nettag-bench --bench serve`. Thread count
+//! follows `RAYON_NUM_THREADS` / `NETTAG_NUM_THREADS`. Set
+//! `NETTAG_BENCH_SMOKE=1` for a one-request-per-client smoke run that
+//! skips the JSON write (CI uses this). Results land in
+//! `BENCH_serve.json` at the workspace root.
+
+use nettag_core::{NetTag, NetTagConfig};
+use nettag_netlist::{CellKind, Library, Netlist, Tag};
+use nettag_serve::{Engine, ServeConfig};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Builds the `i`-th of 128 structurally distinct cone netlists: the
+/// first gate kind, an inverter-chain depth, and the combining gate kind
+/// decompose `i` base 4×8×4, so no two indices collide structurally.
+fn bench_cone(i: usize) -> Netlist {
+    const FIRST: [CellKind; 4] = [
+        CellKind::Xor2,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xnor2,
+    ];
+    const JOIN: [CellKind; 4] = [
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Aoi21,
+        CellKind::Mux2,
+    ];
+    let mut n = Netlist::new("bench_cone");
+    let a = n.add_gate("a", CellKind::Input, vec![]);
+    let b = n.add_gate("b", CellKind::Input, vec![]);
+    let c = n.add_gate("c", CellKind::Input, vec![]);
+    let mut prev = n.add_gate("g0", FIRST[i % 4], vec![a, b]);
+    for d in 0..(i / 4) % 8 {
+        prev = n.add_gate(format!("inv{d}"), CellKind::Inv, vec![prev]);
+    }
+    let join = JOIN[(i / 32) % 4];
+    let fanin = match join {
+        CellKind::Aoi21 | CellKind::Mux2 => vec![prev, c, a],
+        _ => vec![prev, c],
+    };
+    let j = n.add_gate("join", join, fanin);
+    n.add_gate("y", CellKind::Output, vec![j]);
+    n.validate().expect("valid bench cone")
+}
+
+/// Latency percentiles (ms) over one scenario's samples.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx] * 1e3
+}
+
+struct Scenario {
+    name: String,
+    clients: usize,
+    requests: usize,
+    reqs_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Runs `clients` blocking client threads, each embedding its slice of
+/// `structures` (by index), and gathers per-request latencies.
+fn drive(
+    engine: &Engine,
+    clients: usize,
+    per_client: usize,
+    structure_of: impl Fn(usize, usize) -> usize + Sync,
+) -> (f64, Vec<f64>) {
+    let latencies = Mutex::new(Vec::with_capacity(clients * per_client));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let client = engine.client();
+            let latencies = &latencies;
+            let structure_of = &structure_of;
+            s.spawn(move || {
+                let mut mine = Vec::with_capacity(per_client);
+                for r in 0..per_client {
+                    let netlist = bench_cone(structure_of(c, r));
+                    let t = Instant::now();
+                    client.embed_cone(netlist, None).expect("serve");
+                    mine.push(t.elapsed().as_secs_f64());
+                }
+                latencies
+                    .lock()
+                    .expect("latency sink poisoned")
+                    .extend(mine);
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut all = latencies.into_inner().expect("latency sink poisoned");
+    all.sort_by(f64::total_cmp);
+    (wall, all)
+}
+
+fn run_scenario(
+    model: &Arc<NetTag>,
+    name: String,
+    clients: usize,
+    per_client: usize,
+    warm: bool,
+) -> Scenario {
+    let engine = Engine::new(Arc::clone(model), ServeConfig::default());
+    let total = clients * per_client;
+    if warm {
+        // Pre-embed every structure once so the measured pass is all hits.
+        let warmer = engine.client();
+        for i in 0..total {
+            warmer.embed_cone(bench_cone(i), None).expect("warm");
+        }
+    }
+    let before = engine.stats();
+    // Cold: structure unique per (client, request) — no aliasing anywhere.
+    // Warm: the same indices, now resident.
+    let (wall, lat) = drive(&engine, clients, per_client, |c, r| c * per_client + r);
+    let after = engine.stats();
+    let s = Scenario {
+        name,
+        clients,
+        requests: total,
+        reqs_per_s: total as f64 / wall,
+        p50_ms: percentile(&lat, 50.0),
+        p99_ms: percentile(&lat, 99.0),
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_misses: after.cache_misses - before.cache_misses,
+    };
+    engine.shutdown();
+    s
+}
+
+fn main() {
+    let smoke = std::env::var("NETTAG_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let threads = nettag_par::num_threads();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let lib = Library::default();
+
+    // Sequential offline baseline over the 8-client request set: one
+    // embed_tag per request, no engine.
+    let seq_total = if smoke { 8 } else { 128 };
+    let mut seq_lat = Vec::with_capacity(seq_total);
+    let t0 = Instant::now();
+    for i in 0..seq_total {
+        let n = bench_cone(i);
+        let t = Instant::now();
+        let tag = Tag::from_netlist(&n, &lib, &model.tag_options());
+        std::hint::black_box(model.embed_tag(&tag).cls);
+        seq_lat.push(t.elapsed().as_secs_f64());
+    }
+    let seq_wall = t0.elapsed().as_secs_f64();
+    seq_lat.sort_by(f64::total_cmp);
+    let seq_rps = seq_total as f64 / seq_wall;
+    println!(
+        "sequential baseline: {seq_total} reqs, {:.1} req/s, p50 {:.3} ms, p99 {:.3} ms",
+        seq_rps,
+        percentile(&seq_lat, 50.0),
+        percentile(&seq_lat, 99.0),
+    );
+
+    // Engine scenarios: total request count held near the baseline's so
+    // throughputs compare like for like.
+    let plan: &[(usize, usize)] = if smoke {
+        &[(1, 1), (8, 1), (64, 1)]
+    } else {
+        &[(1, 64), (8, 16), (64, 2)]
+    };
+    let mut scenarios = Vec::new();
+    for &(clients, per_client) in plan {
+        for warm in [false, true] {
+            let label = format!("{}_c{clients}", if warm { "warm" } else { "cold" });
+            let s = run_scenario(&model, label, clients, per_client, warm);
+            println!(
+                "  {:<10} {:>3} client(s) × {:<3} reqs: {:>8.1} req/s, p50 {:>8.3} ms, \
+                 p99 {:>8.3} ms ({} hits / {} misses)",
+                s.name,
+                s.clients,
+                per_client,
+                s.reqs_per_s,
+                s.p50_ms,
+                s.p99_ms,
+                s.cache_hits,
+                s.cache_misses,
+            );
+            scenarios.push(s);
+        }
+    }
+
+    let rps = |name: &str| {
+        scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(f64::NAN, |s| s.reqs_per_s)
+    };
+    let batched_vs_single = rps("cold_c8") / rps("cold_c1");
+    let batched_vs_sequential = rps("cold_c8") / seq_rps;
+    let warm_speedup = rps("warm_c8") / rps("cold_c8");
+    println!("batched_vs_single_request_c8: {batched_vs_single:.2}x");
+    println!("warm_speedup_c8: {warm_speedup:.2}x");
+    println!("batched_vs_sequential_offline_c8: {batched_vs_sequential:.2}x");
+
+    if smoke {
+        println!("smoke run: skipping BENCH_serve.json");
+        return;
+    }
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str("  \"model\": \"tiny\",\n");
+    json.push_str(&format!(
+        "  \"sequential_baseline\": {{\"requests\": {seq_total}, \"reqs_per_s\": {:.3}, \
+         \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}},\n",
+        seq_rps,
+        percentile(&seq_lat, 50.0),
+        percentile(&seq_lat, 99.0),
+    ));
+    json.push_str("  \"scenarios\": {\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"clients\": {}, \"requests\": {}, \"reqs_per_s\": {:.3}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+            s.name,
+            s.clients,
+            s.requests,
+            s.reqs_per_s,
+            s.p50_ms,
+            s.p99_ms,
+            s.cache_hits,
+            s.cache_misses,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  },\n");
+    if host_cpus == 1 {
+        json.push_str(
+            "  \"note\": \"single-core host: the offline comparison lacks the \
+             pool-parallel batched-encode term; re-record on multi-core\",\n",
+        );
+    }
+    json.push_str(&format!(
+        "  \"batched_vs_single_request_c8\": {batched_vs_single:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"batched_vs_sequential_offline_c8\": {batched_vs_sequential:.3},\n"
+    ));
+    json.push_str(&format!("  \"warm_speedup_c8\": {warm_speedup:.3}\n"));
+    json.push_str("}\n");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_serve.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote BENCH_serve.json");
+    }
+}

@@ -10,7 +10,7 @@
 use crate::config::NetTagConfig;
 use nettag_expr::token::{TokenId, Vocab};
 use nettag_nn::{
-    Embedding, Graph, Layer, LayerNorm, Linear, NodeId, Param, Tensor, TransformerBlock,
+    infer, Embedding, Graph, Layer, LayerNorm, Linear, NodeId, Param, Tensor, TransformerBlock,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,11 +73,25 @@ impl ExprLlm {
         g.stack_rows(&rows)
     }
 
-    /// Inference-only encoding (no gradients kept).
+    /// Inference-only encoding (no tape, no saved activations).
+    ///
+    /// Mirrors [`Self::forward`] kernel for kernel, so the result is
+    /// bit-identical to a tape-built pass (pinned by
+    /// `encode_matches_tape_forward_bitwise`) at a fraction of the
+    /// allocation cost — this is the serving hot path.
     pub fn encode(&self, tokens: &[TokenId]) -> Tensor {
-        let mut g = Graph::new();
-        let out = self.forward(&mut g, tokens);
-        g.value(out).clone()
+        let n = tokens.len().min(self.max_tokens);
+        let toks = &tokens[..n];
+        let mut x = self.embed.infer(toks);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let pos = infer::gather_rows(&self.pos.value, &ids);
+        x = infer::add(&x, &pos);
+        for b in &self.blocks {
+            x = b.infer(&x);
+        }
+        let x = self.ln.infer(&x);
+        let cls = infer::select_row(&x, 0);
+        self.proj.infer(&cls)
     }
 
     /// Inference-only batch encoding, one row per sequence. Sequences are
@@ -160,6 +174,16 @@ mod tests {
         let batch = model.encode_batch(&[a.clone(), b.clone()]);
         let ea = model.encode(&a);
         assert_eq!(batch.row_slice(0), &ea.data[..]);
+    }
+
+    #[test]
+    fn encode_matches_tape_forward_bitwise() {
+        let (vocab, model, config) = setup();
+        let e = parse_expr("!((R1 ^ R2) | !R2)").expect("parses");
+        let toks = tokenize_expr(&vocab, &e, config.max_tokens);
+        let mut g = Graph::new();
+        let out = model.forward(&mut g, &toks);
+        assert_eq!(g.value(out).data, model.encode(&toks).data);
     }
 
     #[test]

@@ -83,7 +83,14 @@ impl NetTag {
     /// embedding concatenated with the 8-dim physical vector
     /// (`n_i = (T_i, x_phys_i)`, eq. 2).
     pub fn node_features(&self, tag: &Tag) -> Tensor {
-        let vocab = Self::vocab();
+        self.node_features_with_vocab(tag, &Self::vocab())
+    }
+
+    /// [`Self::node_features`] with a caller-held [`Vocab`]. Building the
+    /// vocabulary costs more than embedding a small cone, so long-lived
+    /// callers (the serving engine, batch pipelines) construct it once
+    /// and pass it in; results are identical.
+    pub fn node_features_with_vocab(&self, tag: &Tag, vocab: &Vocab) -> Tensor {
         let n = tag.len();
         let dim = self.config.embed_dim + 8;
         let mut out = Tensor::zeros(n, dim);
@@ -94,7 +101,7 @@ impl NetTag {
             for (bi, row) in chunk.chunks_exact_mut(dim).enumerate() {
                 let i = first_row + bi;
                 if self.text_scale != 0.0 {
-                    let toks = tag.node_tokens(&vocab, i, self.config.max_tokens, false);
+                    let toks = tag.node_tokens(vocab, i, self.config.max_tokens, false);
                     let text = self.exprllm.encode(&toks);
                     for (o, v) in row.iter_mut().zip(text.data.iter()) {
                         *o = v * self.text_scale;

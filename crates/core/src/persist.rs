@@ -6,8 +6,10 @@
 //! model (weights + optimizer moments + configuration).
 
 use crate::nettag::NetTag;
+use std::collections::HashMap;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 /// Error saving or loading a checkpoint.
 #[derive(Debug)]
@@ -62,6 +64,45 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<NetTag, CheckpointError
     let file = std::fs::File::open(path)?;
     let reader = std::io::BufReader::new(file);
     Ok(serde_json::from_reader(reader)?)
+}
+
+/// Loads a checkpoint into a shared immutable handle, deduplicated by
+/// path: concurrent and repeated loads of the same file observe **one**
+/// parse and share **one** weight buffer (`Arc::ptr_eq` holds), instead
+/// of N serving threads each holding a private copy of the model.
+///
+/// The registry holds [`Weak`] references only — once every handle is
+/// dropped the memory is freed, and a later load re-reads the file (so a
+/// checkpoint overwritten on disk is picked up after its readers drain).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on filesystem or deserialization failure.
+pub fn load_checkpoint_shared(path: impl AsRef<Path>) -> Result<Arc<NetTag>, CheckpointError> {
+    static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Weak<NetTag>>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    // Canonicalize so `./ckpt.json` and an absolute spelling share.
+    let path = path.as_ref();
+    let key = std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf());
+    // Fast path: a live handle exists.
+    if let Some(model) = registry
+        .lock()
+        .expect("checkpoint registry poisoned")
+        .get(&key)
+        .and_then(Weak::upgrade)
+    {
+        return Ok(model);
+    }
+    // Parse outside the lock (JSON checkpoints are large); racing loaders
+    // may parse twice, but the first to publish wins and the loser's copy
+    // is dropped — every caller still ends up on one shared buffer.
+    let model = Arc::new(load_checkpoint(path)?);
+    let mut reg = registry.lock().expect("checkpoint registry poisoned");
+    if let Some(existing) = reg.get(&key).and_then(Weak::upgrade) {
+        return Ok(existing);
+    }
+    reg.insert(key, Arc::downgrade(&model));
+    Ok(model)
 }
 
 #[cfg(test)]

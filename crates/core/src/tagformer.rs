@@ -11,7 +11,8 @@
 
 use crate::config::NetTagConfig;
 use nettag_nn::{
-    Graph, Layer, LayerNorm, Linear, Mlp, MultiHeadAttention, NodeId, Param, SparseMatrix, Tensor,
+    infer, Graph, Layer, LayerNorm, Linear, Mlp, MultiHeadAttention, NodeId, Param, SparseMatrix,
+    Tensor,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,6 +50,20 @@ impl TagFormerLayer {
         let h2 = self.ln2.forward(g, x1);
         let f = self.ffn.forward(g, h2);
         g.add(x1, f)
+    }
+
+    /// Tapeless forward, kernel-for-kernel the same as [`Self::forward`]
+    /// (bit-identical outputs; see `nettag_nn::infer`).
+    fn infer(&self, x: &Tensor, adj: &SparseMatrix) -> Tensor {
+        let h = self.ln1.infer(x);
+        let a = self.attn.infer(&h);
+        let p0 = infer::spmm(adj, &h);
+        let p = self.prop.infer(&p0);
+        let sum = infer::add(&a, &p);
+        let x1 = infer::add(x, &sum);
+        let h2 = self.ln2.infer(&x1);
+        let f = self.ffn.infer(&h2);
+        infer::add(&x1, &f)
     }
 }
 
@@ -173,11 +188,25 @@ impl TagFormer {
     }
 
     /// Inference-only encoding: returns (node embeddings, graph embedding).
+    ///
+    /// Tapeless — no autograd tape is built and intermediates are freed as
+    /// soon as each layer finishes, but every kernel runs in the same
+    /// order as [`Self::forward`], so results are bit-identical to a
+    /// tape-built pass (pinned by `encode_matches_tape_forward_bitwise`).
     pub fn encode(&self, features: &Tensor, edges: &[(u32, u32)]) -> (Tensor, Tensor) {
-        let mut g = Graph::new();
-        let f = g.constant(features.clone());
-        let out = self.forward(&mut g, f, edges, &[]);
-        (g.value(out.nodes).clone(), g.value(out.cls).clone())
+        let n = features.rows;
+        let projected = self.input_proj.infer(features);
+        let x = infer::concat_rows(&[projected, self.cls_seed.value.clone()]);
+        let adj = Self::cls_adjacency(n, edges);
+        let mut h = x;
+        for layer in &self.layers {
+            h = layer.infer(&h, &adj);
+        }
+        let h = self.ln.infer(&h);
+        let out = self.proj.infer(&h);
+        let cls = infer::select_row(&out, n);
+        let nodes = infer::take_rows(&out, n);
+        (nodes, cls)
     }
 }
 
@@ -269,6 +298,20 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .sum();
         assert!(diff > 1e-5);
+    }
+
+    #[test]
+    fn encode_matches_tape_forward_bitwise() {
+        let (tf, config) = setup();
+        let mut rng = StdRng::seed_from_u64(11);
+        let features = Tensor::xavier(6, config.embed_dim + 8, &mut rng);
+        let edges = line_graph(6);
+        let mut g = Graph::new();
+        let f = g.constant(features.clone());
+        let out = tf.forward(&mut g, f, &edges, &[]);
+        let (nodes, cls) = tf.encode(&features, &edges);
+        assert_eq!(g.value(out.nodes).data, nodes.data);
+        assert_eq!(g.value(out.cls).data, cls.data);
     }
 
     #[test]

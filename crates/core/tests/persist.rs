@@ -1,0 +1,127 @@
+//! Checkpoint persistence: round-trip fidelity, corrupt-file error paths,
+//! and shared multi-reader loading (the serving engine's contract).
+
+use nettag_core::{
+    load_checkpoint, load_checkpoint_shared, save_checkpoint, CheckpointError, NetTag, NetTagConfig,
+};
+use std::io::Write;
+use std::sync::Arc;
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("nettag_persist_it");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn roundtrip_preserves_every_weight_bitwise() {
+    let model = NetTag::new(NetTagConfig::tiny());
+    let path = tmp_path("roundtrip.json");
+    save_checkpoint(&model, &path).expect("save");
+    let loaded = load_checkpoint(&path).expect("load");
+    // Weight-level equality, not just embedding-level: compare a few
+    // representative tensors bit for bit.
+    assert_eq!(
+        model.exprllm.proj.w.value.data,
+        loaded.exprllm.proj.w.value.data
+    );
+    assert_eq!(
+        model.exprllm.embed.table.value.data,
+        loaded.exprllm.embed.table.value.data
+    );
+    assert_eq!(
+        model.tagformer.cls_seed.value.data,
+        loaded.tagformer.cls_seed.value.data
+    );
+    assert_eq!(model.config.embed_dim, loaded.config.embed_dim);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_checkpoint_is_a_format_error() {
+    let model = NetTag::new(NetTagConfig::tiny());
+    let path = tmp_path("truncated.json");
+    save_checkpoint(&model, &path).expect("save");
+    let full = std::fs::read(&path).expect("read back");
+    std::fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+    let err = load_checkpoint(&path).expect_err("truncated file must fail");
+    assert!(matches!(err, CheckpointError::Format(_)), "got: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_json_is_a_format_error() {
+    let path = tmp_path("corrupt.json");
+    let mut f = std::fs::File::create(&path).expect("create");
+    f.write_all(b"{\"config\": \"this is not a model\"}")
+        .expect("write");
+    drop(f);
+    let err = load_checkpoint(&path).expect_err("corrupt file must fail");
+    assert!(matches!(err, CheckpointError::Format(_)), "got: {err}");
+    let shared_err = load_checkpoint_shared(&path).expect_err("shared load must also fail");
+    assert!(matches!(shared_err, CheckpointError::Format(_)));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let err = load_checkpoint_shared(tmp_path("never_written.json")).expect_err("must fail");
+    assert!(matches!(err, CheckpointError::Io(_)));
+}
+
+#[test]
+fn shared_loads_alias_one_buffer() {
+    let model = NetTag::new(NetTagConfig::tiny());
+    let path = tmp_path("shared.json");
+    save_checkpoint(&model, &path).expect("save");
+    let a = load_checkpoint_shared(&path).expect("load a");
+    let b = load_checkpoint_shared(&path).expect("load b");
+    assert!(
+        Arc::ptr_eq(&a, &b),
+        "repeated loads of one path must share one model buffer"
+    );
+    assert_eq!(a.exprllm.proj.w.value.data, model.exprllm.proj.w.value.data);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn concurrent_shared_loads_converge_to_one_buffer() {
+    let model = NetTag::new(NetTagConfig::tiny());
+    let path = tmp_path("concurrent.json");
+    save_checkpoint(&model, &path).expect("save");
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let p = path.clone();
+            std::thread::spawn(move || load_checkpoint_shared(p).expect("load"))
+        })
+        .collect();
+    let loaded: Vec<Arc<NetTag>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panics"))
+        .collect();
+    for m in &loaded[1..] {
+        assert!(
+            Arc::ptr_eq(&loaded[0], m),
+            "all concurrent readers must share one model buffer"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dropped_handles_release_and_later_loads_reread() {
+    let model = NetTag::new(NetTagConfig::tiny());
+    let path = tmp_path("rearm.json");
+    save_checkpoint(&model, &path).expect("save");
+    let first = load_checkpoint_shared(&path).expect("load");
+    let first_ptr = Arc::as_ptr(&first);
+    drop(first);
+    // All handles gone: the registry holds only a dead Weak, so this load
+    // re-reads the file (possibly at a new address — what matters is that
+    // it succeeds and is again shared going forward).
+    let second = load_checkpoint_shared(&path).expect("reload");
+    let third = load_checkpoint_shared(&path).expect("load again");
+    assert!(Arc::ptr_eq(&second, &third));
+    let _ = first_ptr;
+    std::fs::remove_file(&path).ok();
+}

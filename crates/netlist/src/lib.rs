@@ -35,6 +35,7 @@ mod expr_extract;
 mod graph;
 mod sim;
 mod stats;
+mod structural;
 mod tag;
 mod traverse;
 mod verilog;
@@ -49,6 +50,7 @@ pub use expr_extract::{all_gate_exprs, expr_assignment_text, gate_expr};
 pub use graph::{Gate, GateId, Netlist, NetlistError};
 pub use sim::{next_register_values, simulate_comb};
 pub use stats::NetlistStats;
+pub use structural::{structural_hash, structural_hash_with_phys};
 pub use tag::{synthesis_phys_estimates, PhysProps, Tag, TagNode, TagOptions};
 pub use traverse::{backward_cone, k_hop_fanin, levels, logic_depth, topo_order};
 pub use verilog::{parse_verilog, write_verilog, ParseVerilogError};

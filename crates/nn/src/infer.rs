@@ -1,0 +1,304 @@
+//! Tapeless inference forwards for frozen models.
+//!
+//! Training forwards run on the autograd [`Graph`](crate::Graph) and pay
+//! for every activation twice: once to compute it and once to keep it
+//! alive on the tape for the backward pass. A serving path through a
+//! frozen model needs neither the tape nor the saved activations, so this
+//! module gives every layer an `infer` method that produces plain
+//! [`Tensor`]s and drops intermediates as soon as their consumers finish.
+//!
+//! **Bitwise contract:** each function here calls the *same* kernels in
+//! the *same* order as the corresponding tape op (`matmul_bias`,
+//! `softmax_rows`, the layer-norm reduction loop, the tanh-GELU scalar),
+//! so tapeless outputs are bit-identical to `Graph`-built forwards — the
+//! `tapeless_equivalence` test pins this. Keep the two in lockstep when
+//! touching either side.
+
+use crate::graph::gelu;
+use crate::layers::{
+    Embedding, FeedForward, LayerNorm, Linear, Mlp, MultiHeadAttention, TransformerBlock,
+};
+use crate::tensor::{SparseMatrix, Tensor};
+
+impl Linear {
+    /// Tapeless `x @ W + b` (mirrors [`Graph::linear`](crate::Graph::linear)).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        x.matmul_bias(&self.w.value, &self.b.value)
+    }
+
+    /// Tapeless `relu(x @ W + b)` (mirrors
+    /// [`Graph::linear_relu`](crate::Graph::linear_relu)).
+    pub fn infer_relu(&self, x: &Tensor) -> Tensor {
+        let mut v = x.matmul_bias(&self.w.value, &self.b.value);
+        for o in v.data.iter_mut() {
+            *o = o.max(0.0);
+        }
+        v
+    }
+}
+
+impl Embedding {
+    /// Tapeless token lookup.
+    pub fn infer(&self, ids: &[u32]) -> Tensor {
+        gather_rows(&self.table.value, ids)
+    }
+}
+
+impl LayerNorm {
+    /// Tapeless row-wise layer norm (same per-row reduction order as the
+    /// tape op: ascending-column mean, then variance, then normalize).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        const EPS: f32 = 1e-5;
+        let (gv, bv) = (&self.gain.value, &self.bias.value);
+        let cols = x.cols;
+        let mut out = Tensor::zeros(x.rows, x.cols);
+        for (r, out_row) in out.data.chunks_exact_mut(cols).enumerate() {
+            let row = x.row_slice(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let istd = 1.0 / (var + EPS).sqrt();
+            for c in 0..cols {
+                let xh = (row[c] - mean) * istd;
+                out_row[c] = xh * gv.at(0, c) + bv.at(0, c);
+            }
+        }
+        out
+    }
+}
+
+impl MultiHeadAttention {
+    /// Tapeless full self-attention over an n×d sequence.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut heads = Vec::with_capacity(self.wq.len());
+        for h in 0..self.wq.len() {
+            let q = self.wq[h].infer(x);
+            let k = self.wk[h].infer(x);
+            let v = self.wv[h].infer(x);
+            let scores = q.matmul_bt(&k);
+            let scaled = scores.map(|s| s * scale);
+            let attn = scaled.softmax_rows();
+            heads.push(attn.matmul(&v));
+        }
+        let cat = concat_cols(&heads);
+        self.wo.infer(&cat)
+    }
+}
+
+impl FeedForward {
+    /// Tapeless position-wise FFN (GELU between the two projections).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let h = self.lin1.infer(x);
+        let a = h.map(gelu);
+        self.lin2.infer(&a)
+    }
+}
+
+impl TransformerBlock {
+    /// Tapeless pre-norm block with residual connections.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let n1 = self.ln1.infer(x);
+        let a = self.attn.infer(&n1);
+        let x1 = add(x, &a);
+        let n2 = self.ln2.infer(&x1);
+        let f = self.ffn.infer(&n2);
+        add(&x1, &f)
+    }
+}
+
+impl Mlp {
+    /// Tapeless MLP forward (fused ReLU on hidden layers, none after the
+    /// last — same shape as [`Mlp::forward`]).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let mut cur: Option<Tensor> = None;
+        for (i, l) in self.layers.iter().enumerate() {
+            let input = cur.as_ref().unwrap_or(x);
+            cur = Some(if i + 1 != self.layers.len() {
+                l.infer_relu(input)
+            } else {
+                l.infer(input)
+            });
+        }
+        cur.unwrap_or_else(|| x.clone())
+    }
+}
+
+/// Elementwise sum (mirrors [`Graph::add`](crate::Graph::add)).
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip(b, |x, y| x + y)
+}
+
+/// Sparse propagation `adj @ x` (mirrors [`Graph::spmm`](crate::Graph::spmm)).
+pub fn spmm(adj: &SparseMatrix, x: &Tensor) -> Tensor {
+    adj.matmul(x)
+}
+
+/// Row gather (mirrors [`Graph::gather_rows`](crate::Graph::gather_rows)).
+pub fn gather_rows(table: &Tensor, ids: &[u32]) -> Tensor {
+    let mut v = Tensor::zeros(ids.len(), table.cols);
+    for (r, &id) in ids.iter().enumerate() {
+        let dst = &mut v.data[r * table.cols..(r + 1) * table.cols];
+        dst.copy_from_slice(table.row_slice(id as usize));
+    }
+    v
+}
+
+/// Horizontal concatenation of equal-row tensors (mirrors
+/// [`Graph::concat_cols`](crate::Graph::concat_cols)).
+pub fn concat_cols(parts: &[Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat of nothing");
+    let rows = parts[0].rows;
+    let total: usize = parts.iter().map(|p| p.cols).sum();
+    let mut v = Tensor::zeros(rows, total);
+    let mut off = 0;
+    for t in parts {
+        assert_eq!(t.rows, rows, "concat rows");
+        for r in 0..rows {
+            let dst = &mut v.data[r * total + off..r * total + off + t.cols];
+            dst.copy_from_slice(t.row_slice(r));
+        }
+        off += t.cols;
+    }
+    v
+}
+
+/// Vertical stacking of equal-column tensors (mirrors
+/// [`Graph::concat_rows`](crate::Graph::concat_rows)).
+pub fn concat_rows(parts: &[Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat of nothing");
+    let cols = parts[0].cols;
+    let total: usize = parts.iter().map(|p| p.rows).sum();
+    let mut v = Tensor::zeros(total, cols);
+    let mut off = 0;
+    for t in parts {
+        assert_eq!(t.cols, cols, "concat_rows widths");
+        v.data[off * cols..(off + t.rows) * cols].copy_from_slice(&t.data);
+        off += t.rows;
+    }
+    v
+}
+
+/// One row as 1×c (mirrors [`Graph::select_row`](crate::Graph::select_row)).
+pub fn select_row(x: &Tensor, r: usize) -> Tensor {
+    Tensor::row(x.row_slice(r).to_vec())
+}
+
+/// First `n` rows as n×c (tapeless counterpart of gathering a prefix).
+pub fn take_rows(x: &Tensor, n: usize) -> Tensor {
+    let mut v = Tensor::zeros(n, x.cols);
+    v.data.copy_from_slice(&x.data[..n * x.cols]);
+    v
+}
+
+/// Mean over rows (mirrors [`Graph::mean_rows`](crate::Graph::mean_rows)).
+pub fn mean_rows(x: &Tensor) -> Tensor {
+    let mut v = Tensor::zeros(1, x.cols);
+    for r in 0..x.rows {
+        for c in 0..x.cols {
+            v.data[c] += x.at(r, c);
+        }
+    }
+    let n = x.rows.max(1) as f32;
+    for c in v.data.iter_mut() {
+        *c /= n;
+    }
+    v
+}
+
+/// Row-wise L2 normalization (mirrors
+/// [`Graph::normalize_rows`](crate::Graph::normalize_rows)).
+pub fn normalize_rows(x: &Tensor) -> Tensor {
+    let mut v = x.clone();
+    for r in 0..x.rows {
+        let n = x
+            .row_slice(r)
+            .iter()
+            .map(|a| a * a)
+            .sum::<f32>()
+            .sqrt()
+            .max(1e-9);
+        for c in 0..x.cols {
+            *v.at_mut(r, c) /= n;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transformer_block_infer_matches_tape_bitwise() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let block = TransformerBlock::new(16, 4, 2, &mut rng);
+        let x = Tensor::xavier(7, 16, &mut rng);
+        let mut g = Graph::new();
+        let xn = g.constant(x.clone());
+        let y = block.forward(&mut g, xn);
+        let y_tape = g.value(y).clone();
+        let y_infer = block.infer(&x);
+        assert_eq!(y_tape.data, y_infer.data, "tapeless must be bit-identical");
+    }
+
+    #[test]
+    fn mlp_infer_matches_tape_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(&[12, 24, 24, 6], &mut rng);
+        let x = Tensor::xavier(9, 12, &mut rng);
+        let mut g = Graph::new();
+        let xn = g.constant(x.clone());
+        let y = mlp.forward(&mut g, xn);
+        let y_tape = g.value(y).clone();
+        assert_eq!(y_tape.data, mlp.infer(&x).data);
+    }
+
+    #[test]
+    fn layer_norm_infer_matches_tape_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ln = LayerNorm::new(10);
+        ln.gain.value = Tensor::xavier(1, 10, &mut rng);
+        ln.bias.value = Tensor::xavier(1, 10, &mut rng);
+        let x = Tensor::xavier(33, 10, &mut rng);
+        let mut g = Graph::new();
+        let xn = g.constant(x.clone());
+        let y = ln.forward(&mut g, xn);
+        let y_tape = g.value(y).clone();
+        assert_eq!(y_tape.data, ln.infer(&x).data);
+    }
+
+    #[test]
+    fn helper_ops_match_tape_bitwise() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Tensor::xavier(6, 8, &mut rng);
+        let b = Tensor::xavier(6, 8, &mut rng);
+        let edges: Vec<(u32, u32)> = (0..5).map(|i| (i, i + 1)).collect();
+        let adj = std::sync::Arc::new(SparseMatrix::normalized_adjacency(6, &edges));
+        let mut g = Graph::new();
+        let an = g.constant(a.clone());
+        let bn = g.constant(b.clone());
+        let sum = g.add(an, bn);
+        let prop = g.spmm(adj.clone(), an);
+        let pooled = g.mean_rows(an);
+        let one = g.select_row(an, 3);
+        let normed = g.normalize_rows(an);
+        let stacked = g.concat_rows(&[an, bn]);
+        assert_eq!(g.value(sum).data, add(&a, &b).data);
+        assert_eq!(g.value(prop).data, spmm(&adj, &a).data);
+        assert_eq!(g.value(pooled).data, mean_rows(&a).data);
+        assert_eq!(g.value(one).data, select_row(&a, 3).data);
+        assert_eq!(g.value(normed).data, normalize_rows(&a).data);
+        assert_eq!(
+            g.value(stacked).data,
+            concat_rows(&[a.clone(), b.clone()]).data
+        );
+        assert_eq!(take_rows(&stacked_ref(&a, &b), 6).data, a.data);
+    }
+
+    fn stacked_ref(a: &Tensor, b: &Tensor) -> Tensor {
+        concat_rows(&[a.clone(), b.clone()])
+    }
+}

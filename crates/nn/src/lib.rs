@@ -39,6 +39,7 @@ pub mod data_parallel;
 mod gbdt;
 mod grad;
 mod graph;
+pub mod infer;
 mod layers;
 mod loss;
 mod optim;

@@ -35,11 +35,13 @@ use serde::{Deserialize, Serialize};
 
 /// Minimum number of inner-loop multiply-adds before a product is worth
 /// spreading across threads; below this the kernel runs on the caller's
-/// thread (same code path, one row block). Scoped-thread spawn costs tens
-/// of microseconds per call (there is no persistent pool yet), so only
-/// products north of ~1M multiply-adds — roughly 100 µs of serial work —
-/// can amortize the fan-out.
-const PAR_MIN_FLOPS: usize = 1 << 20;
+/// thread (same code path, one row block). Since `nettag-par` moved to a
+/// persistent worker pool, a parallel region costs a lock + condvar wake
+/// (single-digit microseconds) instead of scoped-thread spawns, so
+/// products down to ~128k multiply-adds — some tens of microseconds of
+/// serial work — now amortize the fan-out. Serving-sized batches clear
+/// this bar; per-gate toy shapes still run inline.
+const PAR_MIN_FLOPS: usize = 1 << 17;
 
 /// A dense row-major 2-D tensor of f32.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -730,20 +732,59 @@ impl SparseMatrix {
             w,
             csr.indices.len() * w,
             |first_row, chunk| {
-                if !accumulate {
-                    chunk.fill(0.0);
-                }
                 for (bi, orow) in chunk.chunks_exact_mut(w).enumerate() {
                     let (cols, ws) = csr.row(first_row + bi);
-                    for (&c, &wt) in cols.iter().zip(ws.iter()) {
-                        let xrow = &x.data[c as usize * w..(c as usize + 1) * w];
-                        for (o, &v) in orow.iter_mut().zip(xrow.iter()) {
-                            *o += wt * v;
-                        }
-                    }
+                    spmm_row(cols, ws, x, orow, accumulate);
                 }
             },
         );
+    }
+}
+
+/// Feature-dim register tile width for the SpMM row kernel (two 8-wide
+/// vector registers, like the dense kernel's `CT`).
+const SPMM_CT: usize = 16;
+
+/// One CSR output row: `orow (+)= Σ_e weight_e · x[col_e, :]`.
+///
+/// Wide feature matrices run through `SPMM_CT`-wide column blocks held in
+/// registers across the whole entry sweep, so output traffic drops from
+/// one load+store per (entry, column) to exactly one store per column —
+/// the seed-style full-width axpy re-walked the output row once per
+/// entry. Every output element still accumulates in **ascending entry
+/// order** (the per-block sweep replays the same entries in the same
+/// order), so results are bitwise identical to the untiled loop and the
+/// nested-Vec seed reference.
+fn spmm_row(cols: &[u32], ws: &[f32], x: &Tensor, orow: &mut [f32], accumulate: bool) {
+    let w = orow.len();
+    let mut j = 0;
+    while j + SPMM_CT <= w {
+        let mut acc = [0.0f32; SPMM_CT];
+        if accumulate {
+            acc.copy_from_slice(&orow[j..j + SPMM_CT]);
+        }
+        for (&c, &wt) in cols.iter().zip(ws.iter()) {
+            let base = c as usize * w + j;
+            let xt: &[f32; SPMM_CT] = x.data[base..base + SPMM_CT].try_into().expect("tile width");
+            for (o, &v) in acc.iter_mut().zip(xt.iter()) {
+                *o += wt * v;
+            }
+        }
+        orow[j..j + SPMM_CT].copy_from_slice(&acc);
+        j += SPMM_CT;
+    }
+    if j < w {
+        // Remainder columns: plain ascending-entry axpy on the tail.
+        let tail = &mut orow[j..];
+        if !accumulate {
+            tail.fill(0.0);
+        }
+        for (&c, &wt) in cols.iter().zip(ws.iter()) {
+            let xrow = &x.data[c as usize * w + j..(c as usize + 1) * w];
+            for (o, &v) in tail.iter_mut().zip(xrow.iter()) {
+                *o += wt * v;
+            }
+        }
     }
 }
 

@@ -1,11 +1,18 @@
-//! # nettag-par — scoped-thread data parallelism
+//! # nettag-par — pooled data parallelism
 //!
 //! The workspace's parallel substrate. The build environment cannot fetch
-//! `rayon`, so the hot kernels use these `std::thread::scope`-based
-//! helpers instead: contiguous range partitioning for owner-computes
-//! loops, disjoint `chunks_mut` partitioning for in-place kernels, and an
-//! indexed map. The API is deliberately rayon-shaped so a later PR can
-//! swap rayon in behind the same call sites.
+//! `rayon`, so the hot kernels use these helpers instead: contiguous
+//! range partitioning for owner-computes loops, disjoint `chunks_mut`
+//! partitioning for in-place kernels, and an indexed map. The API is
+//! deliberately rayon-shaped so a later PR can swap rayon in behind the
+//! same call sites.
+//!
+//! Every helper rides a **persistent worker pool** ([`pool`]): workers
+//! are spawned once per process and fed parallel regions through a
+//! channel-style job queue, so a region costs roughly one lock + wake
+//! instead of per-phase `std::thread::scope` spawn/join (tens of
+//! microseconds) — the difference between a batch-serving request and a
+//! training step both being worth parallelizing.
 //!
 //! Thread count resolution (first set wins):
 //! 1. `RAYON_NUM_THREADS` (kept for operator familiarity)
@@ -13,15 +20,17 @@
 //! 3. [`std::thread::available_parallelism`]
 //!
 //! With one thread every helper runs inline on the caller's stack — no
-//! spawn overhead, and bit-identical results to the parallel path because
-//! all helpers partition work so each output element is produced by
-//! exactly one thread with a fixed in-thread order.
+//! pool interaction, and bit-identical results to the parallel path
+//! because all helpers partition work so each output element is produced
+//! by exactly one thread with a fixed in-thread order.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pool;
+
 use std::cell::Cell;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 thread_local! {
     /// Set while this thread is executing inside a parallel region, so
@@ -115,15 +124,23 @@ where
         return;
     }
     let ranges = split_ranges(rows, threads);
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        for r in &ranges {
-            let (chunk, tail) = rest.split_at_mut(r.len() * width);
-            rest = tail;
-            let start_row = r.start;
-            let fr = &f;
-            scope.spawn(move || enter_region(|| fr(start_row, chunk)));
-        }
+    // Pre-split the buffer into one disjoint chunk per task; each slot is
+    // taken exactly once by whichever pool thread claims that task.
+    type RowBlockSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+    let mut slots: Vec<RowBlockSlot<'_, T>> = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    for r in &ranges {
+        let (chunk, tail) = rest.split_at_mut(r.len() * width);
+        rest = tail;
+        slots.push(Mutex::new(Some((r.start, chunk))));
+    }
+    pool::run(slots.len(), &|i| {
+        let (start_row, chunk) = slots[i]
+            .lock()
+            .expect("slot poisoned")
+            .take()
+            .expect("task claimed once");
+        f(start_row, chunk);
     });
 }
 
@@ -140,23 +157,18 @@ where
         return (0..n).map(f).collect();
     }
     let ranges = split_ranges(n, threads);
-    let mut parts: Vec<Vec<T>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|r| {
-                let fr = &f;
-                let r = r.clone();
-                scope.spawn(move || enter_region(|| r.map(fr).collect::<Vec<T>>()))
-            })
-            .collect();
-        for h in handles {
-            parts.push(h.join().expect("worker panicked"));
-        }
+    let parts: Vec<Mutex<Option<Vec<T>>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+    pool::run(ranges.len(), &|t| {
+        let out: Vec<T> = ranges[t].clone().map(&f).collect();
+        *parts[t].lock().expect("slot poisoned") = Some(out);
     });
     let mut out = Vec::with_capacity(n);
     for p in parts {
-        out.extend(p);
+        out.extend(
+            p.into_inner()
+                .expect("slot poisoned")
+                .expect("task completed"),
+        );
     }
     out
 }
@@ -185,29 +197,30 @@ where
         return items.into_iter().map(f).collect();
     }
     let ranges = split_ranges(n, threads);
-    // Drain into per-thread chunks up front (cheap pointer moves), then
-    // map each chunk on its own worker.
-    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(ranges.len());
+    // Drain into per-task chunks up front (cheap pointer moves), then map
+    // each chunk on whichever pool thread claims it.
     let mut it = items.into_iter();
-    for r in &ranges {
-        chunks.push(it.by_ref().take(r.len()).collect());
-    }
-    let mut parts: Vec<Vec<T>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                let fr = &f;
-                scope.spawn(move || enter_region(|| chunk.into_iter().map(fr).collect::<Vec<T>>()))
-            })
-            .collect();
-        for h in handles {
-            parts.push(h.join().expect("worker panicked"));
-        }
+    let chunks: Vec<Mutex<Option<Vec<I>>>> = ranges
+        .iter()
+        .map(|r| Mutex::new(Some(it.by_ref().take(r.len()).collect())))
+        .collect();
+    let parts: Vec<Mutex<Option<Vec<T>>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+    pool::run(ranges.len(), &|t| {
+        let chunk = chunks[t]
+            .lock()
+            .expect("slot poisoned")
+            .take()
+            .expect("task claimed once");
+        let out: Vec<T> = chunk.into_iter().map(&f).collect();
+        *parts[t].lock().expect("slot poisoned") = Some(out);
     });
     let mut out = Vec::with_capacity(n);
     for p in parts {
-        out.extend(p);
+        out.extend(
+            p.into_inner()
+                .expect("slot poisoned")
+                .expect("task completed"),
+        );
     }
     out
 }
@@ -283,17 +296,23 @@ pub fn for_each_zip3_mut<A, B, C, F>(
         return;
     }
     let ranges = split_ranges(rows, threads);
-    std::thread::scope(|scope| {
-        let (mut ra, mut rb, mut rc) = (a, b, c);
-        for r in &ranges {
-            let (ca, ta) = ra.split_at_mut(r.len() * wa);
-            let (cb, tb) = rb.split_at_mut(r.len() * wb);
-            let (cc, tc) = rc.split_at_mut(r.len() * wc);
-            (ra, rb, rc) = (ta, tb, tc);
-            let start_row = r.start;
-            let fr = &f;
-            scope.spawn(move || enter_region(|| fr(start_row, ca, cb, cc)));
-        }
+    type Zip3Slot<'s, A, B, C> = Mutex<Option<(usize, &'s mut [A], &'s mut [B], &'s mut [C])>>;
+    let mut slots: Vec<Zip3Slot<'_, A, B, C>> = Vec::with_capacity(ranges.len());
+    let (mut ra, mut rb, mut rc) = (a, b, c);
+    for r in &ranges {
+        let (ca, ta) = ra.split_at_mut(r.len() * wa);
+        let (cb, tb) = rb.split_at_mut(r.len() * wb);
+        let (cc, tc) = rc.split_at_mut(r.len() * wc);
+        (ra, rb, rc) = (ta, tb, tc);
+        slots.push(Mutex::new(Some((r.start, ca, cb, cc))));
+    }
+    pool::run(slots.len(), &|i| {
+        let (start_row, ca, cb, cc) = slots[i]
+            .lock()
+            .expect("slot poisoned")
+            .take()
+            .expect("task claimed once");
+        f(start_row, ca, cb, cc);
     });
 }
 
@@ -376,6 +395,52 @@ mod tests {
             });
             assert_eq!(par, ser, "n={n}");
         }
+    }
+
+    #[test]
+    fn repeated_regions_reuse_the_pool() {
+        // Many short regions in a row: with persistent workers this is
+        // cheap; correctness-wise every element must still be computed
+        // exactly once per region.
+        for round in 0..200usize {
+            let out = map_indexed(17, |i| i + round);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i + round);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        // Independent caller threads submit regions simultaneously; each
+        // caller participates in its own job, so all must complete even
+        // if the pool workers are busy elsewhere.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let got =
+                            map_reduce(64, |i| i as u64 + t + round, |a, b| a + b).expect("n > 0");
+                        let want: u64 = (0..64u64).map(|i| i + t + round).sum();
+                        assert_eq!(got, want);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn task_panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            map_indexed(8, |i| {
+                assert!(i != 5, "boom at {i}");
+                i
+            })
+        });
+        assert!(result.is_err(), "panic inside a task must propagate");
+        // The pool must stay usable after a panicked region.
+        let out = map_indexed(8, |i| i * 2);
+        assert_eq!(out[7], 14);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! The persistent worker pool behind every parallel helper.
+//!
+//! `std::thread::scope` costs tens of microseconds of spawn/join per
+//! parallel region — fine for a 100 ms training step, fatal for a 100 µs
+//! serving request. This module keeps `num_threads() - 1` long-lived
+//! workers parked on a condvar-fed job queue; a parallel region enqueues
+//! one [`Job`] (an erased task function plus an atomic task cursor), the
+//! caller participates in the claim loop, and a completion latch blocks
+//! the caller until every task has finished — which is what makes the
+//! single lifetime erasure below sound.
+//!
+//! Tasks are claimed dynamically (`fetch_add` on a shared cursor), but
+//! every task index maps to a fixed unit of work chosen by the caller, so
+//! results are independent of which thread runs what — the bitwise
+//! determinism guarantees of the kernels and the data-parallel driver are
+//! untouched.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A parallel region submitted to the pool: `tasks` indexed tasks over a
+/// lifetime-erased task function.
+struct Job {
+    /// The caller's task function with its lifetime erased. Only valid
+    /// while the submitting call to [`run`] is blocked in `wait`; workers
+    /// never touch it after the last task completes (see `run_tasks`).
+    task_fn: &'static (dyn Fn(usize) + Sync),
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Total task count.
+    tasks: usize,
+    /// Tasks not yet completed; the last decrement signals `done`.
+    pending: AtomicUsize,
+    /// Completion latch.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload from any task, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Job {
+    /// Claims and executes tasks until none remain. Panics inside a task
+    /// are captured (the first payload is kept for the caller) so the
+    /// latch always completes and `task_fn` is never used after `run`
+    /// returns.
+    fn run_tasks(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tasks {
+                return;
+            }
+            let f = self.task_fn;
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| super::enter_region(|| f(i)))) {
+                let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            // AcqRel chains this task's writes into the release sequence
+            // on `pending`, so the final decrementer — and, through the
+            // latch mutex, the caller — observes every task's effects.
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock().expect("latch poisoned");
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task has completed.
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("latch poisoned");
+        while !*done {
+            done = self.done_cv.wait(done).expect("latch poisoned");
+        }
+    }
+}
+
+/// Shared pool state: the job queue workers sleep on.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+}
+
+/// The process-wide pool: `num_threads() - 1` persistent workers (the
+/// caller of a parallel region is always the remaining worker). `None`
+/// when the resolved thread count is 1 — everything runs inline then.
+fn pool() -> Option<&'static Shared> {
+    static POOL: OnceLock<Option<&'static Shared>> = OnceLock::new();
+    *POOL.get_or_init(|| {
+        let workers = super::num_threads().saturating_sub(1);
+        if workers == 0 {
+            return None;
+        }
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("nettag-par-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("failed to spawn pool worker");
+        }
+        Some(shared)
+    })
+}
+
+fn worker_loop(shared: &'static Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared.available.wait(q).expect("pool queue poisoned");
+            }
+        };
+        job.run_tasks();
+    }
+}
+
+/// Runs `tasks` indexed tasks on the pool, blocking until all complete.
+/// `f(i)` is invoked exactly once per `i in 0..tasks`, inside the nesting
+/// guard. Falls back to a plain inline loop when the pool is unavailable
+/// (single-thread configuration) or there is nothing to share.
+///
+/// # Panics
+///
+/// Re-throws the first panic raised by any task, after all tasks finish.
+pub(crate) fn run(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if tasks == 0 {
+        return;
+    }
+    let shared = match pool() {
+        Some(s) if tasks > 1 && super::effective_threads() > 1 => s,
+        _ => {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+    };
+    // SAFETY: `task_fn` borrows stack data of this call frame. The erased
+    // reference is only dereferenced inside `Job::run_tasks`, and every
+    // such dereference happens before the matching `pending` decrement;
+    // `wait()` below does not return until `pending` hits zero, so no
+    // worker can touch `task_fn` after this frame is torn down. Panics in
+    // tasks are caught, so the latch always completes. Workers that pop
+    // the job after completion see `next >= tasks` and return without
+    // dereferencing.
+    #[allow(unsafe_code)]
+    let erased: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+    let job = Arc::new(Job {
+        task_fn: erased,
+        next: AtomicUsize::new(0),
+        tasks,
+        pending: AtomicUsize::new(tasks),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    {
+        // One queue entry per worker we want on this job; surplus entries
+        // are drained as cheap no-ops once the cursor is exhausted.
+        let helpers = (tasks - 1).min(super::num_threads() - 1);
+        let mut q = shared.queue.lock().expect("pool queue poisoned");
+        for _ in 0..helpers {
+            q.push_back(job.clone());
+        }
+        shared.available.notify_all();
+    }
+    job.run_tasks();
+    job.wait();
+    let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}

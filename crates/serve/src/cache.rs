@@ -1,0 +1,144 @@
+//! Sharded, bounded cone-embedding cache.
+//!
+//! Keys are 128-bit structural digests
+//! ([`nettag_netlist::structural_hash_with_phys`]): two cones with equal
+//! keys are structurally isomorphic *and* carry bitwise-equal physical
+//! attributes, so their frozen embeddings are interchangeable. Values are
+//! `Arc<Tensor>` — a hit hands the caller a second handle to the one
+//! buffer already computed, never a copy.
+//!
+//! The map is sharded by the key's low bits so concurrent batcher lookups
+//! and demo/test readers contend on different locks, and each shard is
+//! bounded with FIFO eviction: serving workloads revisit recent cones
+//! (the warm-cache regime the bench measures), and FIFO keeps eviction
+//! O(1) without the bookkeeping of LRU — good enough because the digest
+//! recompute on a miss is cheap next to the forward pass it saves.
+
+use nettag_nn::Tensor;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 8;
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u128, Arc<Tensor>>,
+    order: VecDeque<u128>,
+}
+
+/// Bounded concurrent map from structural digest to frozen embedding.
+#[derive(Debug)]
+pub struct ConeCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+}
+
+impl ConeCache {
+    /// Creates a cache holding at most `capacity` embeddings (rounded up
+    /// to a multiple of the shard count; `capacity = 0` disables caching).
+    pub fn new(capacity: usize) -> ConeCache {
+        ConeCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard: capacity.div_ceil(SHARDS),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard> {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    /// Looks up a digest, returning a shared handle on a hit.
+    pub fn get(&self, key: u128) -> Option<Arc<Tensor>> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .map
+            .get(&key)
+            .cloned()
+    }
+
+    /// Inserts an embedding, evicting the shard's oldest entry when full.
+    /// Re-inserting an existing key refreshes the value without growing.
+    pub fn insert(&self, key: u128, value: Arc<Tensor>) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.map.insert(key, value).is_none() {
+            shard.order.push_back(key);
+            if shard.order.len() > self.per_shard {
+                if let Some(old) = shard.order.pop_front() {
+                    shard.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Number of cached embeddings across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f32) -> Arc<Tensor> {
+        Arc::new(Tensor::scalar(v))
+    }
+
+    #[test]
+    fn get_returns_the_inserted_handle() {
+        let cache = ConeCache::new(16);
+        cache.insert(7, t(1.5));
+        let hit = cache.get(7).expect("hit");
+        assert_eq!(hit.data, vec![1.5]);
+        assert!(cache.get(8).is_none());
+    }
+
+    #[test]
+    fn hits_share_one_buffer() {
+        let cache = ConeCache::new(16);
+        let v = t(2.0);
+        cache.insert(3, Arc::clone(&v));
+        assert!(Arc::ptr_eq(&cache.get(3).expect("hit"), &v));
+    }
+
+    #[test]
+    fn capacity_bounds_each_shard_fifo() {
+        let cache = ConeCache::new(SHARDS); // one entry per shard
+                                            // Keys 0 and SHARDS land in shard 0: the second insert evicts the
+                                            // first (FIFO), never exceeding the per-shard bound.
+        cache.insert(0, t(0.0));
+        cache.insert(SHARDS as u128, t(1.0));
+        assert!(cache.get(0).is_none(), "oldest entry evicted first");
+        assert!(cache.get(SHARDS as u128).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growing() {
+        let cache = ConeCache::new(SHARDS);
+        cache.insert(0, t(1.0));
+        cache.insert(0, t(2.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(0).expect("hit").data, vec![2.0]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ConeCache::new(0);
+        cache.insert(1, t(1.0));
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+    }
+}

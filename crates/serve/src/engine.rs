@@ -1,0 +1,525 @@
+//! The serving engine: a dynamic batcher over the frozen NetTAG stack.
+//!
+//! Concurrent clients send embed/predict requests into one channel; a
+//! dedicated batcher thread coalesces everything that arrives within a
+//! small window (up to `max_batch`) into **one** batched forward pass:
+//! every missing cone's gate-attribute token sequences — plus any
+//! standalone expression requests — join a single
+//! [`ExprLlm::encode_batch`](nettag_core::ExprLlm::encode_batch) call
+//! (which fans out across the persistent `nettag-par` worker pool), and
+//! each cone then takes one tapeless TAGFormer pass. Responses are
+//! bitwise independent of batch composition: a request answers with the
+//! same bits whether it ran alone, coalesced with strangers, or hit the
+//! cache (pinned by the `serve` integration tests).
+
+use crate::cache::ConeCache;
+use crate::{ServeConfig, ServeError};
+use nettag_core::{load_checkpoint_shared, ClassifierHead, NetTag};
+use nettag_expr::parse_expr;
+use nettag_expr::token::{tokenize_expr, TokenId, Vocab};
+use nettag_netlist::{
+    structural_hash_with_phys, synthesis_phys_estimates, Library, Netlist, PhysProps, Tag,
+};
+use nettag_nn::Tensor;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Counters the batcher updates as it serves (all monotone).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    dedup_hits: AtomicU64,
+}
+
+/// A point-in-time snapshot of serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests received by the batcher.
+    pub requests: u64,
+    /// Batches processed (requests / batches = mean coalescing factor).
+    pub batches: u64,
+    /// Largest batch coalesced so far.
+    pub max_batch: u64,
+    /// Cone requests answered from the cache.
+    pub cache_hits: u64,
+    /// Cone requests that computed a fresh embedding.
+    pub cache_misses: u64,
+    /// Cone requests answered by another request *in the same batch*
+    /// computing the identical structure (within-batch dedup).
+    pub dedup_hits: u64,
+}
+
+enum RequestKind {
+    Cone {
+        netlist: Netlist,
+        phys: Option<Vec<PhysProps>>,
+        predict: bool,
+    },
+    Expr {
+        text: String,
+    },
+}
+
+enum Response {
+    Embedding(Arc<Tensor>),
+    Class(usize),
+}
+
+struct Request {
+    kind: RequestKind,
+    reply: Sender<Result<Response, ServeError>>,
+}
+
+enum Msg {
+    Request(Request),
+    Shutdown,
+}
+
+struct Shared {
+    model: Arc<NetTag>,
+    head: Option<ClassifierHead>,
+    lib: Library,
+    vocab: Vocab,
+    cache: ConeCache,
+    stats: Counters,
+    cfg: ServeConfig,
+}
+
+/// The embedding-serving engine. Owns the batcher thread; hand out
+/// [`Client`]s (cheaply cloneable) to callers on any thread.
+pub struct Engine {
+    shared: Arc<Shared>,
+    tx: Mutex<Option<Sender<Msg>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// A handle for submitting requests to an [`Engine`]. Cloning is cheap;
+/// every clone feeds the same batcher, so concurrent clients coalesce.
+#[derive(Clone)]
+pub struct Client {
+    tx: Sender<Msg>,
+}
+
+impl Engine {
+    /// Starts an engine over a (frozen) model with no prediction head.
+    pub fn new(model: Arc<NetTag>, cfg: ServeConfig) -> Engine {
+        Engine::with_classifier_opt(model, None, cfg)
+    }
+
+    /// Starts an engine that also serves `predict` requests through a
+    /// fine-tuned classifier head (input: the cone `[CLS]` embedding).
+    pub fn with_classifier(model: Arc<NetTag>, head: ClassifierHead, cfg: ServeConfig) -> Engine {
+        Engine::with_classifier_opt(model, Some(head), cfg)
+    }
+
+    /// Starts an engine from a checkpoint on disk. Loading goes through
+    /// [`load_checkpoint_shared`], so N engines (or an engine plus other
+    /// readers) pointed at one file share a single weight buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Checkpoint`] when the file is missing or
+    /// malformed.
+    pub fn from_checkpoint(path: impl AsRef<Path>, cfg: ServeConfig) -> Result<Engine, ServeError> {
+        let model = load_checkpoint_shared(path)?;
+        Ok(Engine::new(model, cfg))
+    }
+
+    fn with_classifier_opt(
+        model: Arc<NetTag>,
+        head: Option<ClassifierHead>,
+        cfg: ServeConfig,
+    ) -> Engine {
+        let shared = Arc::new(Shared {
+            head,
+            lib: Library::default(),
+            vocab: NetTag::vocab(),
+            cache: ConeCache::new(cfg.cache_capacity),
+            stats: Counters::default(),
+            cfg,
+            model,
+        });
+        let (tx, rx) = channel();
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("nettag-serve-batcher".into())
+            .spawn(move || batcher(&worker_shared, &rx))
+            .expect("spawn batcher thread");
+        Engine {
+            shared,
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// A new client handle. Clients created after [`Engine::shutdown`]
+    /// receive [`ServeError::Closed`] from every call.
+    pub fn client(&self) -> Client {
+        let tx = self
+            .tx
+            .lock()
+            .expect("engine sender poisoned")
+            .clone()
+            // Shut down: hand out a sender whose receiver is already
+            // gone, so every call reports Closed instead of hanging.
+            .unwrap_or_else(|| channel().0);
+        Client { tx }
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.stats;
+        ServeStats {
+            requests: c.requests.load(Ordering::SeqCst),
+            batches: c.batches.load(Ordering::SeqCst),
+            max_batch: c.max_batch.load(Ordering::SeqCst),
+            cache_hits: c.cache_hits.load(Ordering::SeqCst),
+            cache_misses: c.cache_misses.load(Ordering::SeqCst),
+            dedup_hits: c.dedup_hits.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Number of cone embeddings currently cached.
+    pub fn cached_embeddings(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Stops accepting requests, drains the in-flight batch, and joins
+    /// the batcher thread. Requests still queued behind the shutdown
+    /// marker (and any sent afterwards) fail with [`ServeError::Closed`].
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        let tx = self.tx.lock().expect("engine sender poisoned").take();
+        if let Some(tx) = tx {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        let worker = self.worker.lock().expect("engine worker poisoned").take();
+        if let Some(worker) = worker {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("stats", &self.stats())
+            .field("cached_embeddings", &self.cached_embeddings())
+            .finish()
+    }
+}
+
+impl Client {
+    /// Embeds a netlist (typically one register cone extracted with
+    /// [`nettag_netlist::cone_to_netlist`]) into its graph-level `[CLS]`
+    /// embedding — `1 × embed_dim`, bitwise identical to
+    /// [`NetTag::embed_tag`] on the same structure.
+    ///
+    /// `phys` optionally supplies one sign-off [`PhysProps`] per gate
+    /// (indexed by [`nettag_netlist::GateId`]); otherwise synthesis
+    /// estimates are used. The physical attributes participate in the
+    /// cache key, so the same structure under different corners never
+    /// aliases.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] when `phys` has the wrong length;
+    /// [`ServeError::Closed`] when the engine has shut down.
+    pub fn embed_cone(
+        &self,
+        netlist: Netlist,
+        phys: Option<Vec<PhysProps>>,
+    ) -> Result<Arc<Tensor>, ServeError> {
+        match self.call(RequestKind::Cone {
+            netlist,
+            phys,
+            predict: false,
+        })? {
+            Response::Embedding(e) => Ok(e),
+            Response::Class(_) => unreachable!("embed request answered with a class"),
+        }
+    }
+
+    /// Embeds a standalone symbolic gate expression (e.g.
+    /// `"!((R1 ^ R2) | !R2)"`) through ExprLLM — `1 × embed_dim`,
+    /// bitwise identical to [`nettag_core::ExprLlm::encode`] on the
+    /// tokenized expression.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] when the expression does not parse;
+    /// [`ServeError::Closed`] when the engine has shut down.
+    pub fn embed_expr(&self, expr: &str) -> Result<Arc<Tensor>, ServeError> {
+        match self.call(RequestKind::Expr {
+            text: expr.to_string(),
+        })? {
+            Response::Embedding(e) => Ok(e),
+            Response::Class(_) => unreachable!("embed request answered with a class"),
+        }
+    }
+
+    /// Embeds a netlist and classifies it through the engine's head.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoClassifier`] when the engine was built without a
+    /// head; otherwise as [`Client::embed_cone`].
+    pub fn predict(
+        &self,
+        netlist: Netlist,
+        phys: Option<Vec<PhysProps>>,
+    ) -> Result<usize, ServeError> {
+        match self.call(RequestKind::Cone {
+            netlist,
+            phys,
+            predict: true,
+        })? {
+            Response::Class(c) => Ok(c),
+            Response::Embedding(_) => unreachable!("predict request answered with an embedding"),
+        }
+    }
+
+    fn call(&self, kind: RequestKind) -> Result<Response, ServeError> {
+        let (reply, rx) = channel();
+        self.tx
+            .send(Msg::Request(Request { kind, reply }))
+            .map_err(|_| ServeError::Closed)?;
+        // If the batcher exits before answering, the queued request (and
+        // with it our reply sender) is dropped and recv reports Closed.
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+}
+
+/// The batcher loop: block for the first request, then coalesce what
+/// arrives with it (up to `max_batch`) and process one batch. A batch
+/// closes when any of three cutoffs fires: it is full, `batch_window`
+/// has elapsed since its first request (hard latency cap), or the queue
+/// has stayed empty for `linger` (the burst has landed and every client
+/// is now blocked on a reply — waiting longer is dead time).
+fn batcher(shared: &Shared, rx: &Receiver<Msg>) {
+    loop {
+        let mut batch = Vec::new();
+        match rx.recv() {
+            Ok(Msg::Request(r)) => batch.push(r),
+            Ok(Msg::Shutdown) | Err(_) => return,
+        }
+        let mut shutdown = false;
+        let deadline = Instant::now() + shared.cfg.batch_window;
+        let mut quiet = Instant::now() + shared.cfg.linger;
+        while batch.len() < shared.cfg.max_batch {
+            // Scoop already-queued requests without waiting.
+            match rx.try_recv() {
+                Ok(Msg::Request(r)) => {
+                    batch.push(r);
+                    quiet = Instant::now() + shared.cfg.linger;
+                    continue;
+                }
+                Ok(Msg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    shutdown = true;
+                    break;
+                }
+            }
+            let now = Instant::now();
+            let cutoff = deadline.min(quiet);
+            if now >= cutoff {
+                break;
+            }
+            match rx.recv_timeout(cutoff - now) {
+                Ok(Msg::Request(r)) => {
+                    batch.push(r);
+                    quiet = Instant::now() + shared.cfg.linger;
+                }
+                Ok(Msg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    shutdown = true;
+                    break;
+                }
+            }
+        }
+        let stats = &shared.stats;
+        stats
+            .requests
+            .fetch_add(batch.len() as u64, Ordering::SeqCst);
+        stats.batches.fetch_add(1, Ordering::SeqCst);
+        stats
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::SeqCst);
+        process_batch(shared, batch);
+        if shutdown {
+            return;
+        }
+    }
+}
+
+/// What one request in a batch is waiting for after planning.
+enum Plan {
+    /// Answered from the cache.
+    Ready { emb: Arc<Tensor>, predict: bool },
+    /// Answered by the cone computed under `key` this batch.
+    Wait { key: u128, predict: bool },
+    /// Answered by row `row` of the batched ExprLLM pass.
+    ExprRow { row: usize },
+    /// Failed during planning.
+    Failed(ServeError),
+}
+
+fn process_batch(shared: &Shared, batch: Vec<Request>) {
+    let model = &shared.model;
+    let opts = model.tag_options();
+    let embed_dim = model.config.embed_dim;
+    // Planning pass: resolve phys, hash, consult the cache, dedup within
+    // the batch, and collect every token sequence the batch needs.
+    let mut union: Vec<Vec<TokenId>> = Vec::new();
+    // (key, tag, row offset of this cone's tokens in `union`).
+    let mut compute: Vec<(u128, Tag, usize)> = Vec::new();
+    let mut scheduled: HashSet<u128> = HashSet::new();
+    let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
+    let mut replies: Vec<Sender<Result<Response, ServeError>>> = Vec::with_capacity(batch.len());
+    for req in batch {
+        replies.push(req.reply);
+        let plan = match req.kind {
+            RequestKind::Cone {
+                netlist,
+                phys,
+                predict,
+            } => {
+                if predict && shared.head.is_none() {
+                    plans.push(Plan::Failed(ServeError::NoClassifier));
+                    continue;
+                }
+                let props = match phys {
+                    Some(p) if p.len() != netlist.gate_count() => {
+                        plans.push(Plan::Failed(ServeError::Invalid(format!(
+                            "phys length {} != gate count {}",
+                            p.len(),
+                            netlist.gate_count()
+                        ))));
+                        continue;
+                    }
+                    Some(p) => p,
+                    None => synthesis_phys_estimates(&netlist, &shared.lib),
+                };
+                let key = structural_hash_with_phys(&netlist, &props);
+                if let Some(emb) = shared.cache.get(key) {
+                    shared.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
+                    Plan::Ready { emb, predict }
+                } else {
+                    if scheduled.insert(key) {
+                        shared.stats.cache_misses.fetch_add(1, Ordering::SeqCst);
+                        let tag = Tag::from_netlist_with_phys(&netlist, &props, &opts);
+                        let offset = if model.text_scale != 0.0 {
+                            let o = union.len();
+                            for i in 0..tag.len() {
+                                union.push(tag.node_tokens(
+                                    &shared.vocab,
+                                    i,
+                                    model.config.max_tokens,
+                                    false,
+                                ));
+                            }
+                            o
+                        } else {
+                            usize::MAX
+                        };
+                        compute.push((key, tag, offset));
+                    } else {
+                        shared.stats.dedup_hits.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Plan::Wait { key, predict }
+                }
+            }
+            RequestKind::Expr { text } => match parse_expr(&text) {
+                Ok(expr) => {
+                    let toks = tokenize_expr(&shared.vocab, &expr, model.config.max_tokens);
+                    union.push(toks);
+                    Plan::ExprRow {
+                        row: union.len() - 1,
+                    }
+                }
+                Err(e) => Plan::Failed(ServeError::Invalid(format!("expression: {e}"))),
+            },
+        };
+        plans.push(plan);
+    }
+    // One batched ExprLLM forward over every token sequence the batch
+    // needs (all missing cones' gates + all standalone expressions) —
+    // this is the expensive pass, and it rides the worker pool.
+    let text = if union.is_empty() {
+        None
+    } else {
+        Some(model.exprllm.encode_batch(&union))
+    };
+    // Per-cone tapeless TAGFormer pass over the scattered features,
+    // mirroring `NetTag::node_features` bit for bit.
+    let mut computed: HashMap<u128, Arc<Tensor>> = HashMap::with_capacity(compute.len());
+    for (key, tag, offset) in compute {
+        let dim = embed_dim + 8;
+        let mut feats = Tensor::zeros(tag.len(), dim);
+        for i in 0..tag.len() {
+            let row = &mut feats.data[i * dim..(i + 1) * dim];
+            if offset != usize::MAX {
+                let t = text.as_ref().expect("union encoded").row_slice(offset + i);
+                for (o, v) in row.iter_mut().zip(t.iter()) {
+                    *o = v * model.text_scale;
+                }
+            }
+            row[embed_dim..].copy_from_slice(&tag.nodes[i].phys.feature_vector());
+        }
+        let (_nodes, cls) = model.tagformer.encode(&feats, &tag.edges);
+        let emb = Arc::new(cls);
+        shared.cache.insert(key, Arc::clone(&emb));
+        computed.insert(key, emb);
+    }
+    // Response pass. A dropped client just discards its reply.
+    for (plan, reply) in plans.into_iter().zip(replies) {
+        let result = match plan {
+            Plan::Ready { emb, predict } => respond_cone(shared, emb, predict),
+            Plan::Wait { key, predict } => {
+                let emb = Arc::clone(computed.get(&key).expect("scheduled cone computed"));
+                respond_cone(shared, emb, predict)
+            }
+            Plan::ExprRow { row } => {
+                let t = text.as_ref().expect("union encoded");
+                Ok(Response::Embedding(Arc::new(Tensor::row(
+                    t.row_slice(row).to_vec(),
+                ))))
+            }
+            Plan::Failed(e) => Err(e),
+        };
+        let _ = reply.send(result);
+    }
+}
+
+fn respond_cone(shared: &Shared, emb: Arc<Tensor>, predict: bool) -> Result<Response, ServeError> {
+    if predict {
+        let head = shared.head.as_ref().expect("checked during planning");
+        let class = head.predict(std::slice::from_ref(&emb.data))[0];
+        Ok(Response::Class(class))
+    } else {
+        Ok(Response::Embedding(emb))
+    }
+}

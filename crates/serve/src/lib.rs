@@ -1,0 +1,113 @@
+//! # nettag-serve — the NetTAG embedding-serving engine
+//!
+//! The paper ships NetTAG as a *frozen* foundation model whose
+//! embeddings downstream flows query on demand (Sec. II-F); this crate
+//! provides that serving layer for the Rust reproduction:
+//!
+//! * **Dynamic batching** — concurrent embed/predict requests arriving
+//!   within a small window coalesce into one batched forward pass
+//!   through the frozen ExprLLM/TAGFormer stack, which fans out across
+//!   the persistent `nettag-par` worker pool.
+//! * **Structural cone-embedding cache** — results are keyed by the
+//!   128-bit structural digest of
+//!   [`nettag_netlist::structural_hash_with_phys`] (canonical topology +
+//!   gate kinds + physical attributes), so re-embedding a cone the
+//!   engine has already seen — under any gate naming — is a lookup, not
+//!   a forward pass.
+//! * **Shared checkpoints** — [`Engine::from_checkpoint`] loads through
+//!   [`nettag_core::load_checkpoint_shared`]: any number of engines and
+//!   readers pointed at one file share a single weight buffer.
+//!
+//! Responses are bitwise identical to the offline API
+//! ([`nettag_core::NetTag::embed_tag`] /
+//! [`nettag_core::ExprLlm::encode`]) regardless of batch composition,
+//! cache state, or thread count.
+//!
+//! ```no_run
+//! use nettag_core::{NetTag, NetTagConfig};
+//! use nettag_netlist::{CellKind, Netlist};
+//! use nettag_serve::{Engine, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::new(Arc::new(NetTag::new(NetTagConfig::tiny())), ServeConfig::default());
+//! let client = engine.client();
+//! let mut n = Netlist::new("cone");
+//! let a = n.add_gate("a", CellKind::Input, vec![]);
+//! let g = n.add_gate("G", CellKind::Inv, vec![a]);
+//! n.add_gate("y", CellKind::Output, vec![g]);
+//! let emb = client.embed_cone(n.validate().unwrap(), None).unwrap();
+//! assert_eq!(emb.rows, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+
+pub use cache::ConeCache;
+pub use engine::{Client, Engine, ServeStats};
+
+use nettag_core::CheckpointError;
+use std::fmt;
+use std::time::Duration;
+
+/// Tuning knobs for the serving engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Hard cap on how long the batcher waits after a batch's *first*
+    /// request before closing it — the most latency batching can add.
+    pub batch_window: Duration,
+    /// Quiescence cutoff: the batch closes early once the queue has
+    /// stayed empty this long. Blocking clients send in bursts (then
+    /// wait on replies), so after a burst lands nothing more is coming
+    /// and idling out the rest of `batch_window` is pure dead time.
+    pub linger: Duration,
+    /// Largest number of requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Cone-embedding cache capacity (entries; 0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            batch_window: Duration::from_millis(2),
+            linger: Duration::from_micros(300),
+            max_batch: 64,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Error serving a request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The engine has shut down (or shut down before answering).
+    Closed,
+    /// The request was malformed (bad phys length, unparsable expression).
+    Invalid(String),
+    /// A predict request reached an engine built without a classifier.
+    NoClassifier,
+    /// Checkpoint loading failed ([`Engine::from_checkpoint`]).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "serving engine is shut down"),
+            ServeError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::NoClassifier => write!(f, "engine has no classifier head"),
+            ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}

@@ -1,0 +1,289 @@
+//! Serving-engine contract: batched/cached/concurrent responses are
+//! bitwise identical to the offline embedding API, the cache keys on
+//! structure (not names), and lifecycle/error paths behave.
+
+use nettag_core::{save_checkpoint, ClassifierHead, FinetuneConfig, NetTag, NetTagConfig};
+use nettag_expr::parse_expr;
+use nettag_expr::token::tokenize_expr;
+use nettag_netlist::{
+    chunk_into_cones, cone_to_netlist, synthesis_phys_estimates, CellKind, Library, Netlist,
+    PhysProps, Tag,
+};
+use nettag_serve::{Engine, ServeConfig, ServeError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small single-cone netlist; `salt` varies the structure.
+fn cone(salt: usize) -> Netlist {
+    let mut n = Netlist::new("cone");
+    let a = n.add_gate("a", CellKind::Input, vec![]);
+    let b = n.add_gate("b", CellKind::Input, vec![]);
+    let x = n.add_gate("x", CellKind::Xor2, vec![a, b]);
+    let mut prev = x;
+    for i in 0..salt % 5 {
+        prev = n.add_gate(format!("s{i}"), CellKind::Inv, vec![prev]);
+    }
+    let g = if salt.is_multiple_of(2) {
+        n.add_gate("g", CellKind::Nand2, vec![prev, a])
+    } else {
+        n.add_gate("g", CellKind::Nor2, vec![prev, b])
+    };
+    n.add_gate("y", CellKind::Output, vec![g]);
+    n.validate().expect("valid")
+}
+
+/// The offline reference: what `NetTag::embed_tag` computes for the same
+/// netlist with synthesis-estimated physical attributes.
+fn offline_cls(model: &NetTag, n: &Netlist) -> Vec<f32> {
+    let lib = Library::default();
+    let tag = Tag::from_netlist(n, &lib, &model.tag_options());
+    model.embed_tag(&tag).cls.data
+}
+
+fn tiny_engine() -> (Arc<NetTag>, Engine) {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let engine = Engine::new(Arc::clone(&model), ServeConfig::default());
+    (model, engine)
+}
+
+#[test]
+fn served_embedding_matches_offline_embed_tag_bitwise() {
+    let (model, engine) = tiny_engine();
+    let n = cone(3);
+    let served = engine.client().embed_cone(n.clone(), None).expect("serve");
+    assert_eq!(served.data, offline_cls(&model, &n));
+}
+
+#[test]
+fn identical_requests_hit_the_cache_and_share_one_buffer() {
+    let (_model, engine) = tiny_engine();
+    let client = engine.client();
+    let first = client.embed_cone(cone(2), None).expect("first");
+    let second = client.embed_cone(cone(2), None).expect("second");
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "a cache hit returns the buffer the miss computed"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(engine.cached_embeddings(), 1);
+}
+
+#[test]
+fn cache_keys_on_structure_not_names() {
+    let (_model, engine) = tiny_engine();
+    let client = engine.client();
+    let a = cone(1);
+    // Same structure, every gate renamed.
+    let mut b = Netlist::new("other_name");
+    for (_, g) in a.iter() {
+        b.add_gate(format!("renamed_{}", g.name), g.kind, g.fanin.clone());
+    }
+    let b = b.validate().expect("valid");
+    let ea = client.embed_cone(a, None).expect("a");
+    let eb = client.embed_cone(b, None).expect("b");
+    assert!(Arc::ptr_eq(&ea, &eb), "renamed cone must hit the cache");
+    assert_eq!(engine.stats().cache_misses, 1);
+}
+
+#[test]
+fn phys_attributes_split_the_cache() {
+    let (_model, engine) = tiny_engine();
+    let client = engine.client();
+    let n = cone(4);
+    let mut custom = synthesis_phys_estimates(&n, &Library::default());
+    custom[2].delay += 1.0;
+    let ea = client.embed_cone(n.clone(), None).expect("estimates");
+    let eb = client.embed_cone(n, Some(custom)).expect("custom");
+    assert_ne!(
+        ea.data, eb.data,
+        "different physical attributes must not alias in the cache"
+    );
+    assert_eq!(engine.stats().cache_misses, 2);
+}
+
+#[test]
+fn concurrent_clients_coalesce_and_match_reference() {
+    let (model, engine) = tiny_engine();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let client = engine.client();
+            std::thread::spawn(move || (i, client.embed_cone(cone(i), None).expect("serve")))
+        })
+        .collect();
+    for h in handles {
+        let (i, served) = h.join().expect("no panics");
+        assert_eq!(
+            served.data,
+            offline_cls(&model, &cone(i)),
+            "response for cone {i} must be independent of batch composition"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 8);
+    assert!(stats.batches <= 8);
+}
+
+#[test]
+fn identical_concurrent_requests_compute_once() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    // Generous window so simultaneous senders land in few batches.
+    let engine = Engine::new(
+        Arc::clone(&model),
+        ServeConfig {
+            batch_window: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    );
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let client = engine.client();
+            std::thread::spawn(move || client.embed_cone(cone(0), None).expect("serve"))
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("ok")).collect();
+    for r in &results[1..] {
+        assert_eq!(r.data, results[0].data);
+    }
+    let stats = engine.stats();
+    assert_eq!(
+        stats.cache_misses, 1,
+        "one structure computes one forward pass"
+    );
+    assert_eq!(stats.cache_hits + stats.dedup_hits, 3);
+}
+
+#[test]
+fn expr_requests_match_exprllm_encode_bitwise() {
+    let (model, engine) = tiny_engine();
+    let served = engine
+        .client()
+        .embed_expr("!((R1 ^ R2) | !R2)")
+        .expect("serve");
+    let vocab = NetTag::vocab();
+    let e = parse_expr("!((R1 ^ R2) | !R2)").expect("parses");
+    let toks = tokenize_expr(&vocab, &e, model.config.max_tokens);
+    assert_eq!(served.data, model.exprllm.encode(&toks).data);
+}
+
+#[test]
+fn malformed_requests_report_invalid() {
+    let (_model, engine) = tiny_engine();
+    let client = engine.client();
+    let err = client.embed_expr("((").expect_err("must fail");
+    assert!(matches!(err, ServeError::Invalid(_)), "got: {err}");
+    let bad_phys = vec![PhysProps::default(); 2];
+    let err = client
+        .embed_cone(cone(0), Some(bad_phys))
+        .expect_err("must fail");
+    assert!(matches!(err, ServeError::Invalid(_)), "got: {err}");
+    // Failures must not poison the batch for later requests.
+    assert!(client.embed_cone(cone(0), None).is_ok());
+}
+
+#[test]
+fn predict_requires_and_routes_through_the_head() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let headless = Engine::new(Arc::clone(&model), ServeConfig::default());
+    let err = headless
+        .client()
+        .predict(cone(0), None)
+        .expect_err("no head configured");
+    assert!(matches!(err, ServeError::NoClassifier));
+
+    // Train a tiny head on the embeddings the engine will produce.
+    let feats: Vec<Vec<f32>> = (0..4).map(|i| offline_cls(&model, &cone(i))).collect();
+    let labels = vec![0, 1, 0, 1];
+    let head = ClassifierHead::train(
+        &feats,
+        &labels,
+        2,
+        &FinetuneConfig {
+            epochs: 3,
+            ..FinetuneConfig::default()
+        },
+    );
+    let engine = Engine::with_classifier(Arc::clone(&model), head.clone(), ServeConfig::default());
+    let client = engine.client();
+    for i in 0..4 {
+        let served = client.predict(cone(i), None).expect("predict");
+        let reference = head.predict(&[offline_cls(&model, &cone(i))])[0];
+        assert_eq!(served, reference, "cone {i}");
+    }
+}
+
+#[test]
+fn cache_capacity_bounds_resident_embeddings() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let engine = Engine::new(
+        model,
+        ServeConfig {
+            cache_capacity: 8,
+            ..ServeConfig::default()
+        },
+    );
+    let client = engine.client();
+    for i in 0..10 {
+        // Distinct structures: vary chain depth and final gate kind.
+        client.embed_cone(cone(i), None).expect("serve");
+    }
+    assert!(
+        engine.cached_embeddings() <= 8,
+        "cache must stay within capacity, holds {}",
+        engine.cached_embeddings()
+    );
+}
+
+#[test]
+fn shutdown_closes_clients_and_is_idempotent() {
+    let (_model, engine) = tiny_engine();
+    let client = engine.client();
+    assert!(client.embed_cone(cone(0), None).is_ok());
+    engine.shutdown();
+    engine.shutdown();
+    let err = client.embed_cone(cone(0), None).expect_err("closed");
+    assert!(matches!(err, ServeError::Closed));
+    let late = engine.client();
+    assert!(matches!(
+        late.embed_expr("a & b").expect_err("closed"),
+        ServeError::Closed
+    ));
+}
+
+#[test]
+fn from_checkpoint_serves_the_saved_weights() {
+    let model = NetTag::new(NetTagConfig::tiny());
+    let dir = std::env::temp_dir().join("nettag_serve_it");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("ckpt.json");
+    save_checkpoint(&model, &path).expect("save");
+    let engine = Engine::from_checkpoint(&path, ServeConfig::default()).expect("load");
+    let n = cone(1);
+    let served = engine.client().embed_cone(n.clone(), None).expect("serve");
+    assert_eq!(served.data, offline_cls(&model, &n));
+    let missing = Engine::from_checkpoint(dir.join("absent.json"), ServeConfig::default());
+    assert!(matches!(missing, Err(ServeError::Checkpoint(_))));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn register_cones_of_a_sequential_design_serve_and_cache() {
+    let (model, engine) = tiny_engine();
+    let client = engine.client();
+    // A sequential design with two register cones sharing structure.
+    let mut n = Netlist::new("seq");
+    let a = n.add_gate("a", CellKind::Input, vec![]);
+    let b = n.add_gate("b", CellKind::Input, vec![]);
+    let x1 = n.add_gate("x1", CellKind::Xor2, vec![a, b]);
+    let x2 = n.add_gate("x2", CellKind::Xor2, vec![b, a]);
+    let _r1 = n.add_gate("r1", CellKind::Dff, vec![x1]);
+    let r2 = n.add_gate("r2", CellKind::Dff, vec![x2]);
+    n.add_gate("y", CellKind::Output, vec![r2]);
+    let n = n.validate().expect("valid");
+    for c in chunk_into_cones(&n) {
+        let sub = cone_to_netlist(&n, &c);
+        let served = client.embed_cone(sub.clone(), None).expect("serve");
+        assert_eq!(served.data, offline_cls(&model, &sub));
+    }
+}

@@ -97,5 +97,7 @@ fn main() {
         m.accuracy * 100.0,
         m.f1 * 100.0
     );
-    println!("\nDone. See the benches in crates/bench for every paper table and figure.");
+    println!("\nDone. See the benches in crates/bench for every paper table and figure,");
+    println!("and `cargo run --release --example serve_demo` for the embedding-serving");
+    println!("engine (dynamic batching + structural-hash cone cache) on this model.");
 }

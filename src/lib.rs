@@ -18,6 +18,7 @@
 //! * [`nn`] — tensors, autograd, layers, optimizers, GBDT
 //! * [`core`] — ExprLLM, TAGFormer, pre-training, fine-tuning
 //! * [`tasks`] — the four downstream tasks and every baseline
+//! * [`serve`] — batching embedding server with a structural cone cache
 //!
 //! ```
 //! use nettag::netlist::{CellKind, Library, Netlist, Tag, TagOptions};
@@ -44,5 +45,6 @@ pub use nettag_expr as expr;
 pub use nettag_netlist as netlist;
 pub use nettag_nn as nn;
 pub use nettag_physical as physical;
+pub use nettag_serve as serve;
 pub use nettag_synth as synth;
 pub use nettag_tasks as tasks;
