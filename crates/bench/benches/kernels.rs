@@ -366,12 +366,18 @@ fn main() {
         ));
     }
     json.push_str("  }\n}\n");
-    // Land the baseline at the workspace root regardless of bench cwd.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join("BENCH_kernels.json");
+    // Land the baseline at the workspace root regardless of bench cwd;
+    // `NETTAG_BENCH_OUT` overrides the destination (CI diffs a fresh run
+    // against the committed baseline without touching it).
+    let path = match std::env::var("NETTAG_BENCH_OUT") {
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_kernels.json"),
+    };
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("could not write {}: {e}", path.display());
     } else {
-        println!("wrote BENCH_kernels.json");
+        println!("wrote {}", path.display());
     }
 }

@@ -22,16 +22,26 @@
 //!   sit below 1 (batching cannot parallelize serial compute, and the
 //!   engine pays IPC per request); on multi-core hosts the batched
 //!   ExprLLM pass fans out across the worker pool.
+//! * `socket_vs_inprocess_c8` — cold 8-client throughput through the
+//!   loopback TCP front-end over the same load in-process: the framing +
+//!   syscall overhead of the wire (expected ≤ 1; the gap is the
+//!   transport tax, since both paths share the batcher lanes).
+//!
+//! An overload scenario floods a deliberately tiny bounded queue
+//! (`lanes=1, queue_depth=2, max_batch=1`) through one pipelined socket
+//! connection and records the shed rate — the fraction of the flood
+//! refused with a typed `Overloaded` instead of queueing unboundedly.
 //!
 //! Run with `cargo bench -p nettag-bench --bench serve`. Thread count
 //! follows `RAYON_NUM_THREADS` / `NETTAG_NUM_THREADS`. Set
-//! `NETTAG_BENCH_SMOKE=1` for a one-request-per-client smoke run that
-//! skips the JSON write (CI uses this). Results land in
-//! `BENCH_serve.json` at the workspace root.
+//! `NETTAG_BENCH_SMOKE=1` for a one-request-per-client smoke run (CI
+//! uses this); smoke runs skip the JSON write unless `NETTAG_BENCH_OUT`
+//! names an output path. Results land in `BENCH_serve.json` at the
+//! workspace root, or at `NETTAG_BENCH_OUT` when set.
 
 use nettag_core::{NetTag, NetTagConfig};
 use nettag_netlist::{CellKind, Library, Netlist, Tag};
-use nettag_serve::{Engine, ServeConfig};
+use nettag_serve::{Engine, NetClient, NetServer, ServeConfig, ServeError};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -157,6 +167,101 @@ fn run_scenario(
     s
 }
 
+/// Like [`run_scenario`] but through the loopback TCP front-end: each
+/// client thread drives its own connection with blocking round-trips, so
+/// per-request latency includes framing, syscalls, and the batch window.
+fn run_socket_scenario(
+    model: &Arc<NetTag>,
+    name: String,
+    clients: usize,
+    per_client: usize,
+    warm: bool,
+) -> Scenario {
+    let engine = Engine::new(Arc::clone(model), ServeConfig::default());
+    let server = NetServer::bind(engine.client(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let total = clients * per_client;
+    if warm {
+        let mut warmer = NetClient::connect(addr).expect("connect");
+        for i in 0..total {
+            warmer.embed_cone(&bench_cone(i), None).expect("warm");
+        }
+    }
+    let before = engine.stats();
+    let latencies = Mutex::new(Vec::with_capacity(total));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let latencies = &latencies;
+            s.spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let mut mine = Vec::with_capacity(per_client);
+                for r in 0..per_client {
+                    let netlist = bench_cone(c * per_client + r);
+                    let t = Instant::now();
+                    client.embed_cone(&netlist, None).expect("serve");
+                    mine.push(t.elapsed().as_secs_f64());
+                }
+                latencies
+                    .lock()
+                    .expect("latency sink poisoned")
+                    .extend(mine);
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut all = latencies.into_inner().expect("latency sink poisoned");
+    all.sort_by(f64::total_cmp);
+    let after = engine.stats();
+    let s = Scenario {
+        name,
+        clients,
+        requests: total,
+        reqs_per_s: total as f64 / wall,
+        p50_ms: percentile(&all, 50.0),
+        p99_ms: percentile(&all, 99.0),
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_misses: after.cache_misses - before.cache_misses,
+    };
+    server.shutdown();
+    engine.shutdown();
+    s
+}
+
+/// Floods a tiny bounded queue through one pipelined connection and
+/// reports `(flood size, sheds)` — how much load the engine refused with
+/// a typed `Overloaded` while staying responsive.
+fn run_overload_scenario(model: &Arc<NetTag>, flood: usize) -> (usize, usize) {
+    let engine = Engine::new(
+        Arc::clone(model),
+        ServeConfig {
+            lanes: 1,
+            queue_depth: 2,
+            max_batch: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let server = NetServer::bind(engine.client(), "127.0.0.1:0").expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let burst: Vec<Netlist> = (0..flood).map(bench_cone).collect();
+    let results = client.embed_cones(&burst).expect("pipeline");
+    let shed = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Overloaded)))
+        .count();
+    assert!(
+        results
+            .iter()
+            .all(|r| matches!(r, Ok(_) | Err(ServeError::Overloaded))),
+        "every flooded request answers: served or typed Overloaded"
+    );
+    // The engine must keep serving after shedding.
+    client.embed_cone(&bench_cone(0), None).expect("post-flood");
+    server.shutdown();
+    engine.shutdown();
+    (flood, shed)
+}
+
 fn main() {
     let smoke = std::env::var("NETTAG_BENCH_SMOKE").is_ok_and(|v| v == "1");
     let threads = nettag_par::num_threads();
@@ -214,6 +319,38 @@ fn main() {
         }
     }
 
+    // Socket scenarios: the same c8 load through the loopback TCP
+    // front-end, so the in-process/socket gap isolates the transport.
+    let (socket_clients, socket_per_client) = if smoke { (8, 1) } else { (8, 16) };
+    for warm in [false, true] {
+        let label = format!(
+            "socket_{}_c{socket_clients}",
+            if warm { "warm" } else { "cold" }
+        );
+        let s = run_socket_scenario(&model, label, socket_clients, socket_per_client, warm);
+        println!(
+            "  {:<14} {:>3} client(s) × {:<3} reqs: {:>8.1} req/s, p50 {:>8.3} ms, \
+             p99 {:>8.3} ms ({} hits / {} misses)",
+            s.name,
+            s.clients,
+            socket_per_client,
+            s.reqs_per_s,
+            s.p50_ms,
+            s.p99_ms,
+            s.cache_hits,
+            s.cache_misses,
+        );
+        scenarios.push(s);
+    }
+
+    // Overload: flood a tiny bounded queue, record how much load sheds.
+    let (flood, shed) = run_overload_scenario(&model, if smoke { 16 } else { 64 });
+    let shed_rate = shed as f64 / flood as f64;
+    println!(
+        "  overload: {shed}/{flood} flooded requests shed ({:.0}%)",
+        shed_rate * 100.0
+    );
+
     let rps = |name: &str| {
         scenarios
             .iter()
@@ -223,11 +360,16 @@ fn main() {
     let batched_vs_single = rps("cold_c8") / rps("cold_c1");
     let batched_vs_sequential = rps("cold_c8") / seq_rps;
     let warm_speedup = rps("warm_c8") / rps("cold_c8");
+    let socket_vs_inprocess = rps("socket_cold_c8") / rps("cold_c8");
     println!("batched_vs_single_request_c8: {batched_vs_single:.2}x");
     println!("warm_speedup_c8: {warm_speedup:.2}x");
     println!("batched_vs_sequential_offline_c8: {batched_vs_sequential:.2}x");
+    println!("socket_vs_inprocess_c8: {socket_vs_inprocess:.2}x");
 
-    if smoke {
+    // Smoke runs write JSON only when CI (or a user) names an explicit
+    // output path for a freshness diff against the committed baseline.
+    let out_override = std::env::var("NETTAG_BENCH_OUT").ok();
+    if smoke && out_override.is_none() {
         println!("smoke run: skipping BENCH_serve.json");
         return;
     }
@@ -266,18 +408,28 @@ fn main() {
         );
     }
     json.push_str(&format!(
+        "  \"overload\": {{\"flood\": {flood}, \"shed\": {shed}, \"shed_rate\": {shed_rate:.3}}},\n"
+    ));
+    json.push_str(&format!(
         "  \"batched_vs_single_request_c8\": {batched_vs_single:.3},\n"
     ));
     json.push_str(&format!(
         "  \"batched_vs_sequential_offline_c8\": {batched_vs_sequential:.3},\n"
     ));
+    json.push_str(&format!(
+        "  \"socket_vs_inprocess_c8\": {socket_vs_inprocess:.3},\n"
+    ));
     json.push_str(&format!("  \"warm_speedup_c8\": {warm_speedup:.3}\n"));
     json.push_str("}\n");
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join("BENCH_serve.json");
+    let path = match &out_override {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_serve.json"),
+    };
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("could not write {}: {e}", path.display());
     } else {
-        println!("wrote BENCH_serve.json");
+        println!("wrote {}", path.display());
     }
 }

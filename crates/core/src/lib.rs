@@ -42,7 +42,10 @@ pub use encoders::{rtl_vocab, tokenize_rtl, LayoutEncoder, RtlEncoder, RTL_KEYWO
 pub use exprllm::ExprLlm;
 pub use finetune::{ClassifierHead, FinetuneConfig, RegressorHead, RegressorKind};
 pub use nettag::{NetTag, TagEmbedding};
-pub use persist::{load_checkpoint, load_checkpoint_shared, save_checkpoint, CheckpointError};
+pub use persist::{
+    load_checkpoint, load_checkpoint_shared, reload_checkpoint_shared, save_checkpoint,
+    CheckpointError,
+};
 pub use pretrain::{
     freeze_cone_features, pretrain, pretrain_exprllm, pretrain_tagformer, FrozenCone, Objectives,
     PretrainConfig, PretrainHeads, PretrainReport,

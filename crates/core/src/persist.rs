@@ -79,8 +79,7 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<NetTag, CheckpointError
 ///
 /// Returns [`CheckpointError`] on filesystem or deserialization failure.
 pub fn load_checkpoint_shared(path: impl AsRef<Path>) -> Result<Arc<NetTag>, CheckpointError> {
-    static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Weak<NetTag>>>> = OnceLock::new();
-    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let registry = registry();
     // Canonicalize so `./ckpt.json` and an absolute spelling share.
     let path = path.as_ref();
     let key = std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf());
@@ -102,6 +101,40 @@ pub fn load_checkpoint_shared(path: impl AsRef<Path>) -> Result<Arc<NetTag>, Che
         return Ok(existing);
     }
     reg.insert(key, Arc::downgrade(&model));
+    Ok(model)
+}
+
+/// The process-wide path → weight-buffer registry behind
+/// [`load_checkpoint_shared`] / [`reload_checkpoint_shared`].
+fn registry() -> &'static Mutex<HashMap<PathBuf, Weak<NetTag>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Weak<NetTag>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Re-reads a checkpoint from disk **unconditionally** and republishes it
+/// in the shared registry — the hot-swap path.
+///
+/// [`load_checkpoint_shared`] deduplicates by path, so while any reader
+/// still holds the old handle it keeps returning the *old* weights even
+/// after the file is overwritten. A serving engine swapping checkpoints
+/// in place needs the opposite: parse the file as it is *now*, hand back
+/// a fresh buffer, and make subsequent shared loads of the same path see
+/// the new weights. Readers holding the old `Arc` are unaffected (their
+/// buffer stays alive until they drop it), so a swap never invalidates
+/// in-flight work.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on filesystem or deserialization failure;
+/// the registry keeps its previous entry in that case.
+pub fn reload_checkpoint_shared(path: impl AsRef<Path>) -> Result<Arc<NetTag>, CheckpointError> {
+    let path = path.as_ref();
+    let key = std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf());
+    let model = Arc::new(load_checkpoint(path)?);
+    registry()
+        .lock()
+        .expect("checkpoint registry poisoned")
+        .insert(key, Arc::downgrade(&model));
     Ok(model)
 }
 

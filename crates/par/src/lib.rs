@@ -7,7 +7,7 @@
 //! deliberately rayon-shaped so a later PR can swap rayon in behind the
 //! same call sites.
 //!
-//! Every helper rides a **persistent worker pool** ([`pool`]): workers
+//! Every helper rides a **persistent worker pool** (`pool`): workers
 //! are spawned once per process and fed parallel regions through a
 //! channel-style job queue, so a region costs roughly one lock + wake
 //! instead of per-phase `std::thread::scope` spawn/join (tens of
@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod pool;
+pub mod queue;
 
 use std::cell::Cell;
 use std::sync::{Mutex, OnceLock};

@@ -1,35 +1,54 @@
-//! The serving engine: a dynamic batcher over the frozen NetTAG stack.
+//! The serving engine: multi-lane dynamic batchers over the frozen
+//! NetTAG stack.
 //!
-//! Concurrent clients send embed/predict requests into one channel; a
-//! dedicated batcher thread coalesces everything that arrives within a
-//! small window (up to `max_batch`) into **one** batched forward pass:
-//! every missing cone's gate-attribute token sequences — plus any
-//! standalone expression requests — join a single
+//! Concurrent clients submit embed/predict requests; submission resolves
+//! physical attributes and the structural digest on the *caller's*
+//! thread, then routes the request to one of several **lanes** by digest
+//! (expressions by text hash), so multi-core boxes don't serialize on a
+//! single batch queue and identical structures always meet in the same
+//! lane (within-batch dedup and cache locality are preserved). Each lane
+//! is a bounded [`nettag_par::queue::BoundedQueue`] drained by its own
+//! batcher thread: when a lane is full the submit **sheds load** with a
+//! typed [`ServeError::Overloaded`] instead of queueing unboundedly.
+//!
+//! A batcher coalesces everything that arrives within a small window (up
+//! to `max_batch`) into **one** batched forward pass: every missing
+//! cone's gate-attribute token sequences — plus any standalone
+//! expression requests — join a single
 //! [`ExprLlm::encode_batch`](nettag_core::ExprLlm::encode_batch) call
 //! (which fans out across the persistent `nettag-par` worker pool), and
 //! each cone then takes one tapeless TAGFormer pass. Responses are
-//! bitwise independent of batch composition: a request answers with the
-//! same bits whether it ran alone, coalesced with strangers, or hit the
-//! cache (pinned by the `serve` integration tests).
+//! bitwise independent of batch composition and lane assignment: a
+//! request answers with the same bits whether it ran alone, coalesced
+//! with strangers, or hit the cache (pinned by the `serve` integration
+//! tests).
+//!
+//! The model itself can be **hot-swapped** ([`Engine::swap_checkpoint`] /
+//! [`Engine::swap_model`]): the swap atomically installs the new weights
+//! and bumps the cache generation, so embeddings computed under the old
+//! checkpoint are never served afterwards (they are evicted lazily on
+//! touch). In-flight batches that already snapshotted the old model
+//! finish under it — their responses raced the swap either way.
 
 use crate::cache::ConeCache;
 use crate::{ServeConfig, ServeError};
-use nettag_core::{load_checkpoint_shared, ClassifierHead, NetTag};
-use nettag_expr::parse_expr;
+use nettag_core::{load_checkpoint_shared, reload_checkpoint_shared, ClassifierHead, NetTag};
 use nettag_expr::token::{tokenize_expr, TokenId, Vocab};
+use nettag_expr::{parse_expr, Expr};
 use nettag_netlist::{
     structural_hash_with_phys, synthesis_phys_estimates, Library, Netlist, PhysProps, Tag,
 };
 use nettag_nn::Tensor;
+use nettag_par::queue::{BoundedQueue, Pop, TryPushError};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Counters the batcher updates as it serves (all monotone).
+/// Counters the engine updates as it serves (all monotone).
 #[derive(Debug, Default)]
 struct Counters {
     requests: AtomicU64,
@@ -38,16 +57,17 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     dedup_hits: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// A point-in-time snapshot of serving counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Requests received by the batcher.
+    /// Requests accepted into a lane queue.
     pub requests: u64,
     /// Batches processed (requests / batches = mean coalescing factor).
     pub batches: u64,
-    /// Largest batch coalesced so far.
+    /// Largest batch coalesced so far (any lane).
     pub max_batch: u64,
     /// Cone requests answered from the cache.
     pub cache_hits: u64,
@@ -56,36 +76,92 @@ pub struct ServeStats {
     /// Cone requests answered by another request *in the same batch*
     /// computing the identical structure (within-batch dedup).
     pub dedup_hits: u64,
+    /// Requests refused with [`ServeError::Overloaded`] because their
+    /// lane queue was full (backpressure / load shedding).
+    pub shed: u64,
 }
 
-enum RequestKind {
+/// An un-routed request as the caller states it.
+pub(crate) enum RawRequest {
+    /// Embed (and optionally classify) a cone netlist.
     Cone {
+        /// The cone to embed.
         netlist: Netlist,
+        /// Optional per-gate sign-off attributes.
         phys: Option<Vec<PhysProps>>,
+        /// Route the embedding through the classifier head.
         predict: bool,
     },
+    /// Embed a standalone symbolic gate expression.
     Expr {
+        /// Expression source text.
         text: String,
     },
 }
 
-enum Response {
+/// A routed request: validation done, digest computed, lane chosen.
+enum RequestKind {
+    Cone {
+        netlist: Netlist,
+        props: Vec<PhysProps>,
+        key: u128,
+        predict: bool,
+    },
+    Expr {
+        expr: Expr,
+    },
+}
+
+/// What the engine answers with.
+pub(crate) enum Response {
+    /// A `1 × embed_dim` embedding.
     Embedding(Arc<Tensor>),
+    /// A class index from the classifier head.
     Class(usize),
+}
+
+/// Where a request's answer goes: an in-process oneshot channel, or a
+/// tagged per-connection channel for the socket front-end (responses may
+/// complete out of submission order across lanes; the id pairs them back
+/// up on the wire).
+pub(crate) enum ReplyTo {
+    /// In-process `Client::call` reply slot.
+    Oneshot(Sender<Result<Response, ServeError>>),
+    /// Socket front-end reply slot: `(request id, result)`.
+    Tagged {
+        /// Wire request id, echoed in the response frame.
+        id: u64,
+        /// The connection's shared writer channel.
+        tx: Sender<(u64, Result<Response, ServeError>)>,
+    },
+}
+
+impl ReplyTo {
+    pub(crate) fn send(self, result: Result<Response, ServeError>) {
+        match self {
+            // A dropped receiver just discards the reply.
+            ReplyTo::Oneshot(tx) => drop(tx.send(result)),
+            ReplyTo::Tagged { id, tx } => drop(tx.send((id, result))),
+        }
+    }
 }
 
 struct Request {
     kind: RequestKind,
-    reply: Sender<Result<Response, ServeError>>,
+    reply: ReplyTo,
 }
 
-enum Msg {
-    Request(Request),
-    Shutdown,
+/// The swappable part of the engine: the frozen weights and the cache
+/// generation they define. Written only by [`Engine::swap_model`]; every
+/// batch snapshots both under one read lock, so a batch never mixes one
+/// generation's weights with another's cache entries.
+struct ModelState {
+    model: Arc<NetTag>,
+    generation: u64,
 }
 
 struct Shared {
-    model: Arc<NetTag>,
+    state: RwLock<ModelState>,
     head: Option<ClassifierHead>,
     lib: Library,
     vocab: Vocab,
@@ -94,19 +170,23 @@ struct Shared {
     cfg: ServeConfig,
 }
 
-/// The embedding-serving engine. Owns the batcher thread; hand out
-/// [`Client`]s (cheaply cloneable) to callers on any thread.
+type Lanes = Arc<[Arc<BoundedQueue<Request>>]>;
+
+/// The embedding-serving engine. Owns one batcher thread per lane; hand
+/// out [`Client`]s (cheaply cloneable) to callers on any thread.
 pub struct Engine {
     shared: Arc<Shared>,
-    tx: Mutex<Option<Sender<Msg>>>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    lanes: Lanes,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A handle for submitting requests to an [`Engine`]. Cloning is cheap;
-/// every clone feeds the same batcher, so concurrent clients coalesce.
+/// every clone feeds the same lane queues, so concurrent clients
+/// coalesce.
 #[derive(Clone)]
 pub struct Client {
-    tx: Sender<Msg>,
+    shared: Arc<Shared>,
+    lanes: Lanes,
 }
 
 impl Engine {
@@ -139,40 +219,53 @@ impl Engine {
         head: Option<ClassifierHead>,
         cfg: ServeConfig,
     ) -> Engine {
+        let lane_count = if cfg.lanes == 0 {
+            nettag_par::num_threads()
+        } else {
+            cfg.lanes
+        };
         let shared = Arc::new(Shared {
+            state: RwLock::new(ModelState {
+                model,
+                generation: 0,
+            }),
             head,
             lib: Library::default(),
             vocab: NetTag::vocab(),
             cache: ConeCache::new(cfg.cache_capacity),
             stats: Counters::default(),
             cfg,
-            model,
         });
-        let (tx, rx) = channel();
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
-            .name("nettag-serve-batcher".into())
-            .spawn(move || batcher(&worker_shared, &rx))
-            .expect("spawn batcher thread");
+        let lanes: Lanes = (0..lane_count)
+            .map(|_| Arc::new(BoundedQueue::new(cfg.queue_depth)))
+            .collect::<Vec<_>>()
+            .into();
+        let workers = lanes
+            .iter()
+            .enumerate()
+            .map(|(i, lane)| {
+                let shared = Arc::clone(&shared);
+                let lane = Arc::clone(lane);
+                std::thread::Builder::new()
+                    .name(format!("nettag-serve-lane-{i}"))
+                    .spawn(move || batcher(&shared, &lane))
+                    .expect("spawn batcher lane thread")
+            })
+            .collect();
         Engine {
             shared,
-            tx: Mutex::new(Some(tx)),
-            worker: Mutex::new(Some(worker)),
+            lanes,
+            workers: Mutex::new(workers),
         }
     }
 
     /// A new client handle. Clients created after [`Engine::shutdown`]
     /// receive [`ServeError::Closed`] from every call.
     pub fn client(&self) -> Client {
-        let tx = self
-            .tx
-            .lock()
-            .expect("engine sender poisoned")
-            .clone()
-            // Shut down: hand out a sender whose receiver is already
-            // gone, so every call reports Closed instead of hanging.
-            .unwrap_or_else(|| channel().0);
-        Client { tx }
+        Client {
+            shared: Arc::clone(&self.shared),
+            lanes: Arc::clone(&self.lanes),
+        }
     }
 
     /// Snapshot of the serving counters.
@@ -185,25 +278,68 @@ impl Engine {
             cache_hits: c.cache_hits.load(Ordering::SeqCst),
             cache_misses: c.cache_misses.load(Ordering::SeqCst),
             dedup_hits: c.dedup_hits.load(Ordering::SeqCst),
+            shed: c.shed.load(Ordering::SeqCst),
         }
     }
 
-    /// Number of cone embeddings currently cached.
+    /// Number of cone embeddings currently cached (stale generations
+    /// included until lazily evicted).
     pub fn cached_embeddings(&self) -> usize {
         self.shared.cache.len()
     }
 
-    /// Stops accepting requests, drains the in-flight batch, and joins
-    /// the batcher thread. Requests still queued behind the shutdown
-    /// marker (and any sent afterwards) fail with [`ServeError::Closed`].
-    /// Idempotent.
+    /// Number of batcher lanes this engine runs.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Current model generation (bumped by every hot swap).
+    pub fn generation(&self) -> u64 {
+        self.shared
+            .state
+            .read()
+            .expect("model state poisoned")
+            .generation
+    }
+
+    /// Hot-swaps the serving weights for `model` and bumps the cache
+    /// generation: embeddings computed under the previous weights are
+    /// never served again (stale cache entries are evicted lazily on
+    /// touch). In-flight batches that snapshotted the old model finish
+    /// under it — those requests raced the swap. A configured classifier
+    /// head is kept; swapping in a model with a different embedding
+    /// dimension while serving `predict` is a caller error.
+    pub fn swap_model(&self, model: Arc<NetTag>) {
+        let mut st = self.shared.state.write().expect("model state poisoned");
+        st.model = model;
+        st.generation += 1;
+    }
+
+    /// Hot-swaps the serving weights from a checkpoint file, re-reading
+    /// it unconditionally through
+    /// [`reload_checkpoint_shared`] (the dedup registry is
+    /// updated, so other shared loaders of the same path see the new
+    /// weights too). On error the engine keeps serving the old model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Checkpoint`] when the file is missing or
+    /// malformed.
+    pub fn swap_checkpoint(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        let model = reload_checkpoint_shared(path)?;
+        self.swap_model(model);
+        Ok(())
+    }
+
+    /// Stops accepting requests, drains every lane's queued requests, and
+    /// joins the batcher threads. Requests sent afterwards fail with
+    /// [`ServeError::Closed`]. Idempotent.
     pub fn shutdown(&self) {
-        let tx = self.tx.lock().expect("engine sender poisoned").take();
-        if let Some(tx) = tx {
-            let _ = tx.send(Msg::Shutdown);
+        for lane in self.lanes.iter() {
+            lane.close();
         }
-        let worker = self.worker.lock().expect("engine worker poisoned").take();
-        if let Some(worker) = worker {
+        let workers = std::mem::take(&mut *self.workers.lock().expect("engine workers poisoned"));
+        for worker in workers {
             let _ = worker.join();
         }
     }
@@ -218,10 +354,21 @@ impl Drop for Engine {
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
+            .field("lanes", &self.lanes.len())
             .field("stats", &self.stats())
             .field("cached_embeddings", &self.cached_embeddings())
             .finish()
     }
+}
+
+/// FNV-1a over bytes: the deterministic lane hash for expression text.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl Client {
@@ -239,13 +386,14 @@ impl Client {
     /// # Errors
     ///
     /// [`ServeError::Invalid`] when `phys` has the wrong length;
+    /// [`ServeError::Overloaded`] when the request's lane queue is full;
     /// [`ServeError::Closed`] when the engine has shut down.
     pub fn embed_cone(
         &self,
         netlist: Netlist,
         phys: Option<Vec<PhysProps>>,
     ) -> Result<Arc<Tensor>, ServeError> {
-        match self.call(RequestKind::Cone {
+        match self.call(RawRequest::Cone {
             netlist,
             phys,
             predict: false,
@@ -263,9 +411,10 @@ impl Client {
     /// # Errors
     ///
     /// [`ServeError::Invalid`] when the expression does not parse;
+    /// [`ServeError::Overloaded`] when the request's lane queue is full;
     /// [`ServeError::Closed`] when the engine has shut down.
     pub fn embed_expr(&self, expr: &str) -> Result<Arc<Tensor>, ServeError> {
-        match self.call(RequestKind::Expr {
+        match self.call(RawRequest::Expr {
             text: expr.to_string(),
         })? {
             Response::Embedding(e) => Ok(e),
@@ -284,7 +433,7 @@ impl Client {
         netlist: Netlist,
         phys: Option<Vec<PhysProps>>,
     ) -> Result<usize, ServeError> {
-        match self.call(RequestKind::Cone {
+        match self.call(RawRequest::Cone {
             netlist,
             phys,
             predict: true,
@@ -294,70 +443,127 @@ impl Client {
         }
     }
 
-    fn call(&self, kind: RequestKind) -> Result<Response, ServeError> {
+    /// Validates a raw request, computes its routing digest, and picks
+    /// its lane. Runs on the caller's thread — hashing and physical
+    /// estimation are cheap next to the forward pass and keeping them out
+    /// of the batcher keeps the lanes hot.
+    fn route(&self, raw: RawRequest) -> Result<(usize, RequestKind), ServeError> {
+        match raw {
+            RawRequest::Cone {
+                netlist,
+                phys,
+                predict,
+            } => {
+                if predict && self.shared.head.is_none() {
+                    return Err(ServeError::NoClassifier);
+                }
+                let props = match phys {
+                    Some(p) if p.len() != netlist.gate_count() => {
+                        return Err(ServeError::Invalid(format!(
+                            "phys length {} != gate count {}",
+                            p.len(),
+                            netlist.gate_count()
+                        )));
+                    }
+                    Some(p) => p,
+                    None => synthesis_phys_estimates(&netlist, &self.shared.lib),
+                };
+                let key = structural_hash_with_phys(&netlist, &props);
+                let lane = (key % self.lanes.len() as u128) as usize;
+                Ok((
+                    lane,
+                    RequestKind::Cone {
+                        netlist,
+                        props,
+                        key,
+                        predict,
+                    },
+                ))
+            }
+            RawRequest::Expr { text } => {
+                let expr = parse_expr(&text)
+                    .map_err(|e| ServeError::Invalid(format!("expression: {e}")))?;
+                let lane = (fnv1a(text.as_bytes()) % self.lanes.len() as u64) as usize;
+                Ok((lane, RequestKind::Expr { expr }))
+            }
+        }
+    }
+
+    /// Routes and enqueues a request. On failure the reply slot is handed
+    /// back with the error, so the socket front-end can answer the frame
+    /// itself.
+    pub(crate) fn submit(
+        &self,
+        raw: RawRequest,
+        reply: ReplyTo,
+    ) -> Result<(), (ReplyTo, ServeError)> {
+        let (lane, kind) = match self.route(raw) {
+            Ok(v) => v,
+            Err(e) => return Err((reply, e)),
+        };
+        match self.lanes[lane].try_push(Request { kind, reply }) {
+            Ok(()) => Ok(()),
+            Err(TryPushError::Full(req)) => {
+                self.shared.stats.shed.fetch_add(1, Ordering::SeqCst);
+                Err((req.reply, ServeError::Overloaded))
+            }
+            Err(TryPushError::Closed(req)) => Err((req.reply, ServeError::Closed)),
+        }
+    }
+
+    fn call(&self, raw: RawRequest) -> Result<Response, ServeError> {
         let (reply, rx) = channel();
-        self.tx
-            .send(Msg::Request(Request { kind, reply }))
-            .map_err(|_| ServeError::Closed)?;
-        // If the batcher exits before answering, the queued request (and
-        // with it our reply sender) is dropped and recv reports Closed.
-        rx.recv().map_err(|_| ServeError::Closed)?
+        match self.submit(raw, ReplyTo::Oneshot(reply)) {
+            Ok(()) => {
+                // If the batcher exits before answering, the queued request
+                // (and with it our reply sender) is dropped and recv
+                // reports Closed.
+                rx.recv().map_err(|_| ServeError::Closed)?
+            }
+            Err((_reply, e)) => Err(e),
+        }
     }
 }
 
-/// The batcher loop: block for the first request, then coalesce what
-/// arrives with it (up to `max_batch`) and process one batch. A batch
-/// closes when any of three cutoffs fires: it is full, `batch_window`
-/// has elapsed since its first request (hard latency cap), or the queue
-/// has stayed empty for `linger` (the burst has landed and every client
-/// is now blocked on a reply — waiting longer is dead time).
-fn batcher(shared: &Shared, rx: &Receiver<Msg>) {
+/// One lane's batcher loop: block for the first request, then coalesce
+/// what arrives with it (up to `max_batch`) and process one batch. A
+/// batch closes when any of three cutoffs fires: it is full,
+/// `batch_window` has elapsed since its first request (hard latency cap),
+/// or the queue has stayed empty for `linger` (the burst has landed and
+/// every client is now blocked on a reply — waiting longer is dead time).
+/// A closed lane drains its accepted requests before the thread exits.
+fn batcher(shared: &Shared, queue: &BoundedQueue<Request>) {
     loop {
         let mut batch = Vec::new();
-        match rx.recv() {
-            Ok(Msg::Request(r)) => batch.push(r),
-            Ok(Msg::Shutdown) | Err(_) => return,
+        match queue.pop() {
+            Pop::Item(r) => batch.push(r),
+            Pop::Closed => return,
+            Pop::Empty => unreachable!("blocking pop never reports Empty"),
         }
-        let mut shutdown = false;
         let deadline = Instant::now() + shared.cfg.batch_window;
         let mut quiet = Instant::now() + shared.cfg.linger;
         while batch.len() < shared.cfg.max_batch {
             // Scoop already-queued requests without waiting.
-            match rx.try_recv() {
-                Ok(Msg::Request(r)) => {
+            match queue.try_pop() {
+                Pop::Item(r) => {
                     batch.push(r);
                     quiet = Instant::now() + shared.cfg.linger;
                     continue;
                 }
-                Ok(Msg::Shutdown) => {
-                    shutdown = true;
-                    break;
-                }
-                Err(TryRecvError::Empty) => {}
-                Err(TryRecvError::Disconnected) => {
-                    shutdown = true;
-                    break;
-                }
+                Pop::Closed => break,
+                Pop::Empty => {}
             }
             let now = Instant::now();
             let cutoff = deadline.min(quiet);
             if now >= cutoff {
                 break;
             }
-            match rx.recv_timeout(cutoff - now) {
-                Ok(Msg::Request(r)) => {
+            match queue.pop_timeout(cutoff - now) {
+                Pop::Item(r) => {
                     batch.push(r);
                     quiet = Instant::now() + shared.cfg.linger;
                 }
-                Ok(Msg::Shutdown) => {
-                    shutdown = true;
-                    break;
-                }
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => {
-                    shutdown = true;
-                    break;
-                }
+                Pop::Closed | Pop::Empty => break,
             }
         }
         let stats = &shared.stats;
@@ -369,9 +575,6 @@ fn batcher(shared: &Shared, rx: &Receiver<Msg>) {
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::SeqCst);
         process_batch(shared, batch);
-        if shutdown {
-            return;
-        }
     }
 }
 
@@ -383,48 +586,36 @@ enum Plan {
     Wait { key: u128, predict: bool },
     /// Answered by row `row` of the batched ExprLLM pass.
     ExprRow { row: usize },
-    /// Failed during planning.
-    Failed(ServeError),
 }
 
 fn process_batch(shared: &Shared, batch: Vec<Request>) {
-    let model = &shared.model;
+    // Snapshot the weights and cache generation together: a batch either
+    // runs entirely under the pre-swap model (and reads/writes pre-swap
+    // cache entries) or entirely under the post-swap one.
+    let (model, generation) = {
+        let st = shared.state.read().expect("model state poisoned");
+        (Arc::clone(&st.model), st.generation)
+    };
     let opts = model.tag_options();
     let embed_dim = model.config.embed_dim;
-    // Planning pass: resolve phys, hash, consult the cache, dedup within
-    // the batch, and collect every token sequence the batch needs.
+    // Planning pass: consult the cache, dedup within the batch, and
+    // collect every token sequence the batch needs.
     let mut union: Vec<Vec<TokenId>> = Vec::new();
     // (key, tag, row offset of this cone's tokens in `union`).
     let mut compute: Vec<(u128, Tag, usize)> = Vec::new();
     let mut scheduled: HashSet<u128> = HashSet::new();
     let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
-    let mut replies: Vec<Sender<Result<Response, ServeError>>> = Vec::with_capacity(batch.len());
+    let mut replies: Vec<ReplyTo> = Vec::with_capacity(batch.len());
     for req in batch {
         replies.push(req.reply);
         let plan = match req.kind {
             RequestKind::Cone {
                 netlist,
-                phys,
+                props,
+                key,
                 predict,
             } => {
-                if predict && shared.head.is_none() {
-                    plans.push(Plan::Failed(ServeError::NoClassifier));
-                    continue;
-                }
-                let props = match phys {
-                    Some(p) if p.len() != netlist.gate_count() => {
-                        plans.push(Plan::Failed(ServeError::Invalid(format!(
-                            "phys length {} != gate count {}",
-                            p.len(),
-                            netlist.gate_count()
-                        ))));
-                        continue;
-                    }
-                    Some(p) => p,
-                    None => synthesis_phys_estimates(&netlist, &shared.lib),
-                };
-                let key = structural_hash_with_phys(&netlist, &props);
-                if let Some(emb) = shared.cache.get(key) {
+                if let Some(emb) = shared.cache.get(key, generation) {
                     shared.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
                     Plan::Ready { emb, predict }
                 } else {
@@ -452,16 +643,13 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
                     Plan::Wait { key, predict }
                 }
             }
-            RequestKind::Expr { text } => match parse_expr(&text) {
-                Ok(expr) => {
-                    let toks = tokenize_expr(&shared.vocab, &expr, model.config.max_tokens);
-                    union.push(toks);
-                    Plan::ExprRow {
-                        row: union.len() - 1,
-                    }
+            RequestKind::Expr { expr } => {
+                let toks = tokenize_expr(&shared.vocab, &expr, model.config.max_tokens);
+                union.push(toks);
+                Plan::ExprRow {
+                    row: union.len() - 1,
                 }
-                Err(e) => Plan::Failed(ServeError::Invalid(format!("expression: {e}"))),
-            },
+            }
         };
         plans.push(plan);
     }
@@ -491,7 +679,7 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
         }
         let (_nodes, cls) = model.tagformer.encode(&feats, &tag.edges);
         let emb = Arc::new(cls);
-        shared.cache.insert(key, Arc::clone(&emb));
+        shared.cache.insert(key, Arc::clone(&emb), generation);
         computed.insert(key, emb);
     }
     // Response pass. A dropped client just discards its reply.
@@ -508,15 +696,14 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
                     t.row_slice(row).to_vec(),
                 ))))
             }
-            Plan::Failed(e) => Err(e),
         };
-        let _ = reply.send(result);
+        reply.send(result);
     }
 }
 
 fn respond_cone(shared: &Shared, emb: Arc<Tensor>, predict: bool) -> Result<Response, ServeError> {
     if predict {
-        let head = shared.head.as_ref().expect("checked during planning");
+        let head = shared.head.as_ref().expect("checked during routing");
         let class = head.predict(std::slice::from_ref(&emb.data))[0];
         Ok(Response::Class(class))
     } else {

@@ -4,16 +4,30 @@
 //! embeddings downstream flows query on demand (Sec. II-F); this crate
 //! provides that serving layer for the Rust reproduction:
 //!
-//! * **Dynamic batching** — concurrent embed/predict requests arriving
-//!   within a small window coalesce into one batched forward pass
-//!   through the frozen ExprLLM/TAGFormer stack, which fans out across
-//!   the persistent `nettag-par` worker pool.
-//! * **Structural cone-embedding cache** — results are keyed by the
-//!   128-bit structural digest of
+//! * **Dynamic batching, in lanes** — concurrent embed/predict requests
+//!   arriving within a small window coalesce into one batched forward
+//!   pass through the frozen ExprLLM/TAGFormer stack, which fans out
+//!   across the persistent `nettag-par` worker pool. Requests shard
+//!   across multiple batcher **lanes** by structural digest, so
+//!   multi-core boxes don't serialize on one batch queue.
+//! * **Backpressure** — every lane is a *bounded* queue: when requests
+//!   arrive faster than they drain, the excess is refused immediately
+//!   with a typed [`ServeError::Overloaded`] instead of queueing
+//!   unboundedly, so an overloaded engine stays responsive for the load
+//!   it accepted.
+//! * **Structural cone-embedding cache, with generations** — results are
+//!   keyed by the 128-bit structural digest of
 //!   [`nettag_netlist::structural_hash_with_phys`] (canonical topology +
 //!   gate kinds + physical attributes), so re-embedding a cone the
 //!   engine has already seen — under any gate naming — is a lookup, not
-//!   a forward pass.
+//!   a forward pass. A checkpoint hot-swap
+//!   ([`Engine::swap_checkpoint`]) bumps the cache generation and
+//!   lazily evicts embeddings computed under the old weights.
+//! * **Network front-end** — [`NetServer`] exposes the engine over TCP
+//!   with a simple length-prefixed binary protocol ([`proto`]);
+//!   [`NetClient`] is the matching blocking client. Remote requests
+//!   feed the same lanes as in-process ones and answer with the same
+//!   bits.
 //! * **Shared checkpoints** — [`Engine::from_checkpoint`] loads through
 //!   [`nettag_core::load_checkpoint_shared`]: any number of engines and
 //!   readers pointed at one file share a single weight buffer.
@@ -21,7 +35,7 @@
 //! Responses are bitwise identical to the offline API
 //! ([`nettag_core::NetTag::embed_tag`] /
 //! [`nettag_core::ExprLlm::encode`]) regardless of batch composition,
-//! cache state, or thread count.
+//! cache state, lane assignment, transport, or thread count.
 //!
 //! ```no_run
 //! use nettag_core::{NetTag, NetTagConfig};
@@ -44,9 +58,12 @@
 
 mod cache;
 mod engine;
+mod net;
+pub mod proto;
 
 pub use cache::ConeCache;
 pub use engine::{Client, Engine, ServeStats};
+pub use net::{NetClient, NetServer};
 
 use nettag_core::CheckpointError;
 use std::fmt;
@@ -55,7 +72,7 @@ use std::time::Duration;
 /// Tuning knobs for the serving engine.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Hard cap on how long the batcher waits after a batch's *first*
+    /// Hard cap on how long a batcher waits after a batch's *first*
     /// request before closing it — the most latency batching can add.
     pub batch_window: Duration,
     /// Quiescence cutoff: the batch closes early once the queue has
@@ -67,6 +84,16 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Cone-embedding cache capacity (entries; 0 disables caching).
     pub cache_capacity: usize,
+    /// Batcher lanes. `0` (the default) resolves to the worker-thread
+    /// count (`RAYON_NUM_THREADS` / `NETTAG_NUM_THREADS`, see
+    /// [`nettag_par::num_threads`]) — one lane per thread slice, so
+    /// multi-core hosts don't serialize on a single batch queue.
+    /// Requests shard to lanes by structural digest.
+    pub lanes: usize,
+    /// Per-lane bound on queued requests. When a lane is full, further
+    /// submissions fail fast with [`ServeError::Overloaded`] — the
+    /// engine sheds load instead of growing an unbounded backlog.
+    pub queue_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +103,8 @@ impl Default for ServeConfig {
             linger: Duration::from_micros(300),
             max_batch: 64,
             cache_capacity: 1024,
+            lanes: 0,
+            queue_depth: 256,
         }
     }
 }
@@ -89,8 +118,15 @@ pub enum ServeError {
     Invalid(String),
     /// A predict request reached an engine built without a classifier.
     NoClassifier,
-    /// Checkpoint loading failed ([`Engine::from_checkpoint`]).
+    /// Checkpoint loading failed ([`Engine::from_checkpoint`] /
+    /// [`Engine::swap_checkpoint`]).
     Checkpoint(CheckpointError),
+    /// The request's lane queue was full: the engine shed this request
+    /// to protect the work it already accepted. Retry with backoff.
+    Overloaded,
+    /// A socket-transport failure between a [`NetClient`] and the
+    /// server (connection refused/reset, protocol violation, …).
+    Transport(String),
 }
 
 impl fmt::Display for ServeError {
@@ -100,6 +136,8 @@ impl fmt::Display for ServeError {
             ServeError::Invalid(msg) => write!(f, "invalid request: {msg}"),
             ServeError::NoClassifier => write!(f, "engine has no classifier head"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ServeError::Overloaded => write!(f, "engine overloaded: request shed, retry later"),
+            ServeError::Transport(msg) => write!(f, "transport: {msg}"),
         }
     }
 }

@@ -1,0 +1,469 @@
+//! Blocking TCP front-end over the serving engine.
+//!
+//! [`NetServer`] binds a listener and speaks the [`crate::proto`]
+//! length-prefixed protocol: one reader thread and one writer thread per
+//! connection, feeding the same batcher lanes as in-process
+//! [`crate::Client`]s — concurrent remote clients coalesce into batches
+//! exactly like local ones, and their responses are bitwise identical.
+//! Responses travel tagged by request id, not in submission order, so a
+//! connection may pipeline many requests and the lanes may answer them
+//! as they complete.
+//!
+//! Backpressure crosses the wire: when a request's lane queue is full,
+//! the reader answers that frame with an
+//! [`ErrorCode::Overloaded`](crate::proto::ErrorCode) response
+//! immediately — the connection stays up, already-accepted requests keep
+//! computing, and the remote caller decides whether to back off.
+//!
+//! [`NetClient`] is the matching blocking client: one request in flight
+//! per call ([`NetClient::embed_cone`] etc.), plus a pipelined batch
+//! helper ([`NetClient::embed_cones`]) that keeps a whole burst on the
+//! wire at once.
+
+use crate::engine::{Client, RawRequest, ReplyTo, Response};
+use crate::proto::{self, ErrorCode, RequestBody, ResponseBody};
+use crate::ServeError;
+use nettag_netlist::{Netlist, PhysProps};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One reply on a connection's writer channel: `(request id, result)`.
+type TaggedReply = (u64, Result<Response, ServeError>);
+/// Registry of open connections: the severable stream + reader handle.
+type ConnRegistry = Mutex<Vec<(TcpStream, JoinHandle<()>)>>;
+
+/// A TCP server exposing an [`crate::Engine`] (through one of its
+/// [`Client`] handles) on a socket address.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    conns: Arc<ConnRegistry>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections, serving each through `client`'s engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(client: Client, addr: impl ToSocketAddrs) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<ConnRegistry> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("nettag-net-accept".into())
+                .spawn(move || accept_loop(&listener, &client, &stop, &conns))
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            local_addr,
+            stop,
+            accept: Mutex::new(Some(accept)),
+            conns,
+        })
+    }
+
+    /// The address the server is listening on (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections, severs the open ones, and joins every
+    /// connection thread. In-flight requests already accepted by the
+    /// engine still compute; their replies are discarded with the
+    /// connection. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            // Another shutdown already ran the teardown; still join the
+            // accept thread in case we raced it.
+        } else {
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        if let Some(h) = self.accept.lock().expect("accept handle poisoned").take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("connection registry poisoned"));
+        for (stream, handle) in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("local_addr", &self.local_addr)
+            .field("stopped", &self.stop.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    client: &Client,
+    stop: &AtomicBool,
+    conns: &Mutex<Vec<(TcpStream, JoinHandle<()>)>>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let Ok(registered) = stream.try_clone() else {
+            continue;
+        };
+        let client = client.clone();
+        let Ok(handle) = std::thread::Builder::new()
+            .name("nettag-net-conn".into())
+            .spawn(move || serve_connection(stream, &client))
+        else {
+            continue;
+        };
+        conns
+            .lock()
+            .expect("connection registry poisoned")
+            .push((registered, handle));
+    }
+}
+
+/// Converts an engine reply into its wire form.
+fn wire_result(result: Result<Response, ServeError>) -> ResponseBody {
+    match result {
+        Ok(Response::Embedding(t)) => ResponseBody::Embedding(t.data.clone()),
+        Ok(Response::Class(c)) => ResponseBody::Class(c as u64),
+        Err(e) => {
+            let code = match &e {
+                ServeError::Invalid(_) => ErrorCode::Invalid,
+                ServeError::NoClassifier => ErrorCode::NoClassifier,
+                ServeError::Overloaded => ErrorCode::Overloaded,
+                ServeError::Closed => ErrorCode::Closed,
+                // Not produced by the engine for a served request; fold
+                // into Invalid rather than invent wire codes for them.
+                ServeError::Checkpoint(_) | ServeError::Transport(_) => ErrorCode::Invalid,
+            };
+            ResponseBody::Error {
+                code,
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+/// One connection: handshake, then read frames and feed the lanes until
+/// EOF, a protocol violation, or a severed socket. The paired writer
+/// thread drains the tagged reply channel; it naturally exits once the
+/// reader is gone and every in-flight request has answered.
+fn serve_connection(stream: TcpStream, client: &Client) {
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx): (Sender<TaggedReply>, Receiver<TaggedReply>) = channel();
+    let writer = std::thread::Builder::new()
+        .name("nettag-net-write".into())
+        .spawn(move || write_loop(writer_stream, &rx))
+        .expect("spawn connection writer");
+
+    let mut reader = BufReader::new(stream);
+    // Handshake: send our hello eagerly, then check the peer's. Both
+    // sides write first, so neither blocks on the other.
+    let hello_ok = (|| -> io::Result<()> {
+        {
+            let s = reader.get_mut();
+            proto::write_hello(s)?;
+            s.flush()?;
+        }
+        proto::read_hello(&mut reader)?;
+        Ok(())
+    })();
+    if hello_ok.is_ok() {
+        // The loop ends on clean EOF, a protocol violation, or a severed
+        // socket — the framing is gone either way.
+        while let Ok(Some(req)) = proto::read_request(&mut reader) {
+            let raw = match req.body {
+                RequestBody::EmbedCone { netlist, phys } => match netlist.validate() {
+                    Ok(netlist) => RawRequest::Cone {
+                        netlist,
+                        phys,
+                        predict: false,
+                    },
+                    Err(e) => {
+                        let _ =
+                            tx.send((req.id, Err(ServeError::Invalid(format!("netlist: {e}")))));
+                        continue;
+                    }
+                },
+                RequestBody::Predict { netlist, phys } => match netlist.validate() {
+                    Ok(netlist) => RawRequest::Cone {
+                        netlist,
+                        phys,
+                        predict: true,
+                    },
+                    Err(e) => {
+                        let _ =
+                            tx.send((req.id, Err(ServeError::Invalid(format!("netlist: {e}")))));
+                        continue;
+                    }
+                },
+                RequestBody::EmbedExpr { text } => RawRequest::Expr { text },
+            };
+            let reply = ReplyTo::Tagged {
+                id: req.id,
+                tx: tx.clone(),
+            };
+            if let Err((reply, e)) = client.submit(raw, reply) {
+                // Routing/validation failure or load shed: this frame
+                // answers with its typed error and the connection lives on.
+                reply.send(Err(e));
+            }
+        }
+    }
+    // Drop our reply sender; once in-flight requests answer, the writer's
+    // channel disconnects and it exits.
+    drop(tx);
+    let _ = writer.join();
+    // Shut the socket itself down: the server's connection registry holds
+    // a clone, so dropping our halves alone would leave the peer hanging
+    // without an EOF until server shutdown.
+    let _ = reader.get_ref().shutdown(Shutdown::Both);
+}
+
+/// Drains tagged replies onto the socket. Batches of replies that are
+/// already queued are written back to back and flushed once.
+fn write_loop(stream: TcpStream, rx: &Receiver<TaggedReply>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok((id, result)) = rx.recv() {
+        let mut batch = vec![proto::Response {
+            id,
+            body: wire_result(result),
+        }];
+        while let Ok((id, result)) = rx.try_recv() {
+            batch.push(proto::Response {
+                id,
+                body: wire_result(result),
+            });
+        }
+        for resp in &batch {
+            if proto::write_response(&mut w, resp).is_err() {
+                return;
+            }
+        }
+        if w.flush().is_err() {
+            return;
+        }
+    }
+    let _ = w.flush();
+}
+
+fn transport(e: impl std::fmt::Display) -> ServeError {
+    ServeError::Transport(e.to_string())
+}
+
+/// A blocking remote client for a [`NetServer`], mirroring the
+/// in-process [`Client`] API. One instance drives one connection; open
+/// more connections for concurrency (they still coalesce server-side).
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects and performs the protocol handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] when the connection or handshake fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(transport)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = NetClient {
+            reader: BufReader::new(stream.try_clone().map_err(transport)?),
+            writer: BufWriter::new(stream),
+            next_id: 0,
+        };
+        proto::write_hello(client.writer.get_mut()).map_err(transport)?;
+        client.writer.get_mut().flush().map_err(transport)?;
+        proto::read_hello(&mut client.reader).map_err(transport)?;
+        Ok(client)
+    }
+
+    fn send(&mut self, body: RequestBody) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        proto::write_request(&mut self.writer, &proto::Request { id, body }).map_err(transport)?;
+        self.writer.flush().map_err(transport)?;
+        Ok(id)
+    }
+
+    fn recv_for(&mut self, id: u64) -> Result<ResponseBody, ServeError> {
+        // With one request outstanding the next frame answers it; ids of
+        // other frames would indicate a peer bug, so reject them.
+        match proto::read_response(&mut self.reader).map_err(transport)? {
+            Some(resp) if resp.id == id => Ok(resp.body),
+            Some(resp) => Err(ServeError::Transport(format!(
+                "response id {} does not match request id {id}",
+                resp.id
+            ))),
+            None => Err(ServeError::Transport("server closed the connection".into())),
+        }
+    }
+
+    fn expect_embedding(body: ResponseBody) -> Result<Vec<f32>, ServeError> {
+        match body {
+            ResponseBody::Embedding(data) => Ok(data),
+            ResponseBody::Class(_) => Err(ServeError::Transport(
+                "embed request answered with a class".into(),
+            )),
+            ResponseBody::Error { code, message } => Err(decode_error(code, message)),
+        }
+    }
+
+    /// Embeds a cone netlist remotely — bitwise identical to
+    /// [`Client::embed_cone`] on the same engine.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors as [`Client::embed_cone`];
+    /// [`ServeError::Transport`] when the socket fails.
+    pub fn embed_cone(
+        &mut self,
+        netlist: &Netlist,
+        phys: Option<Vec<PhysProps>>,
+    ) -> Result<Vec<f32>, ServeError> {
+        let id = self.send(RequestBody::EmbedCone {
+            netlist: netlist.clone(),
+            phys,
+        })?;
+        Self::expect_embedding(self.recv_for(id)?)
+    }
+
+    /// Embeds a standalone symbolic expression remotely — bitwise
+    /// identical to [`Client::embed_expr`] on the same engine.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors as [`Client::embed_expr`];
+    /// [`ServeError::Transport`] when the socket fails.
+    pub fn embed_expr(&mut self, text: &str) -> Result<Vec<f32>, ServeError> {
+        let id = self.send(RequestBody::EmbedExpr { text: text.into() })?;
+        Self::expect_embedding(self.recv_for(id)?)
+    }
+
+    /// Embeds and classifies a cone remotely — identical to
+    /// [`Client::predict`] on the same engine.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors as [`Client::predict`]; [`ServeError::Transport`]
+    /// when the socket fails.
+    pub fn predict(
+        &mut self,
+        netlist: &Netlist,
+        phys: Option<Vec<PhysProps>>,
+    ) -> Result<usize, ServeError> {
+        let id = self.send(RequestBody::Predict {
+            netlist: netlist.clone(),
+            phys,
+        })?;
+        match self.recv_for(id)? {
+            ResponseBody::Class(c) => Ok(c as usize),
+            ResponseBody::Embedding(_) => Err(ServeError::Transport(
+                "predict request answered with an embedding".into(),
+            )),
+            ResponseBody::Error { code, message } => Err(decode_error(code, message)),
+        }
+    }
+
+    /// Pipelines a whole burst of cone requests on this connection: all
+    /// frames go out before any response is read, so the server's lanes
+    /// see them together and may answer out of order (ids pair them back
+    /// up). Returns per-request results in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] when the socket fails; per-request
+    /// engine errors land in the corresponding output slot.
+    #[allow(clippy::type_complexity)]
+    pub fn embed_cones(
+        &mut self,
+        cones: &[Netlist],
+    ) -> Result<Vec<Result<Vec<f32>, ServeError>>, ServeError> {
+        let mut ids = Vec::with_capacity(cones.len());
+        for netlist in cones {
+            let id = self.next_id;
+            self.next_id += 1;
+            proto::write_request(
+                &mut self.writer,
+                &proto::Request {
+                    id,
+                    body: RequestBody::EmbedCone {
+                        netlist: netlist.clone(),
+                        phys: None,
+                    },
+                },
+            )
+            .map_err(transport)?;
+            ids.push(id);
+        }
+        self.writer.flush().map_err(transport)?;
+        let mut by_id = std::collections::HashMap::with_capacity(ids.len());
+        for _ in 0..ids.len() {
+            match proto::read_response(&mut self.reader).map_err(transport)? {
+                Some(resp) => {
+                    by_id.insert(resp.id, resp.body);
+                }
+                None => {
+                    return Err(ServeError::Transport(
+                        "server closed the connection mid-pipeline".into(),
+                    ))
+                }
+            }
+        }
+        Ok(ids
+            .into_iter()
+            .map(|id| match by_id.remove(&id) {
+                Some(body) => Self::expect_embedding(body),
+                None => Err(ServeError::Transport(format!(
+                    "no response for request id {id}"
+                ))),
+            })
+            .collect())
+    }
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+fn decode_error(code: ErrorCode, message: String) -> ServeError {
+    match code {
+        ErrorCode::Invalid => ServeError::Invalid(message),
+        ErrorCode::NoClassifier => ServeError::NoClassifier,
+        ErrorCode::Overloaded => ServeError::Overloaded,
+        ErrorCode::Closed => ServeError::Closed,
+    }
+}

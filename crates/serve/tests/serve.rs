@@ -287,3 +287,195 @@ fn register_cones_of_a_sequential_design_serve_and_cache() {
         assert_eq!(served.data, offline_cls(&model, &sub));
     }
 }
+
+/// A second model with different weights: same architecture, new seed.
+fn other_model() -> Arc<NetTag> {
+    let cfg = NetTagConfig {
+        seed: 0xBEEF,
+        ..NetTagConfig::tiny()
+    };
+    Arc::new(NetTag::new(cfg))
+}
+
+#[test]
+fn hot_swap_bumps_generation_and_evicts_stale_embeddings() {
+    let (model_a, engine) = tiny_engine();
+    let client = engine.client();
+    let n = cone(3);
+    let before = client.embed_cone(n.clone(), None).expect("serve");
+    assert_eq!(before.data, offline_cls(&model_a, &n));
+    assert_eq!(engine.generation(), 0);
+    assert_eq!(engine.cached_embeddings(), 1);
+
+    let model_b = other_model();
+    engine.swap_model(Arc::clone(&model_b));
+    assert_eq!(engine.generation(), 1);
+
+    // The same cone must now recompute under the new weights — a stale
+    // cache hit would hand back model A's embedding bitwise.
+    let after = client.embed_cone(n.clone(), None).expect("serve");
+    assert_eq!(
+        after.data,
+        offline_cls(&model_b, &n),
+        "post-swap response must be the new model's embedding, bitwise"
+    );
+    assert_ne!(after.data, before.data, "seeds differ, embeddings must too");
+    let stats = engine.stats();
+    assert_eq!(
+        stats.cache_misses, 2,
+        "the stale entry must miss and recompute, not hit"
+    );
+    // The recomputed embedding is cached under the new generation.
+    let again = client.embed_cone(n, None).expect("serve");
+    assert!(Arc::ptr_eq(&again, &after));
+}
+
+#[test]
+fn swap_checkpoint_rereads_the_file_even_at_the_same_path() {
+    let dir = std::env::temp_dir().join("nettag_serve_swap_it");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("ckpt.json");
+
+    let model_a = NetTag::new(NetTagConfig::tiny());
+    save_checkpoint(&model_a, &path).expect("save A");
+    let engine = Engine::from_checkpoint(&path, ServeConfig::default()).expect("load");
+    let n = cone(2);
+    let before = engine.client().embed_cone(n.clone(), None).expect("serve");
+    assert_eq!(before.data, offline_cls(&model_a, &n));
+
+    // Overwrite the checkpoint in place — the dedup registry must not
+    // hand back the stale in-memory weights.
+    let model_b = NetTag::new(NetTagConfig {
+        seed: 0xBEEF,
+        ..NetTagConfig::tiny()
+    });
+    save_checkpoint(&model_b, &path).expect("save B");
+    engine.swap_checkpoint(&path).expect("swap");
+    assert_eq!(engine.generation(), 1);
+
+    let after = engine.client().embed_cone(n.clone(), None).expect("serve");
+    assert_eq!(after.data, offline_cls(&model_b, &n));
+
+    // A failed swap leaves the engine on its current weights.
+    let err = engine.swap_checkpoint(dir.join("absent.json"));
+    assert!(matches!(err, Err(ServeError::Checkpoint(_))));
+    assert_eq!(engine.generation(), 1);
+    let still = engine.client().embed_cone(n.clone(), None).expect("serve");
+    assert_eq!(still.data, offline_cls(&model_b, &n));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn hot_swap_with_concurrent_clients_serves_one_model_or_the_other() {
+    let (model_a, engine) = tiny_engine();
+    let model_b = other_model();
+    // Every in-flight response must be bitwise one model's embedding —
+    // never a stale cache entry served across the swap boundary.
+    let refs: Vec<(Vec<f32>, Vec<f32>)> = (0..4)
+        .map(|i| {
+            (
+                offline_cls(&model_a, &cone(i)),
+                offline_cls(&model_b, &cone(i)),
+            )
+        })
+        .collect();
+    let refs = Arc::new(refs);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            let client = engine.client();
+            let refs = Arc::clone(&refs);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = t;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let got = client.embed_cone(cone(i % 4), None).expect("serve");
+                    let (ref a, ref b) = refs[i % 4];
+                    assert!(
+                        got.data == *a || got.data == *b,
+                        "response must be model A's or model B's bits, nothing else"
+                    );
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    for k in 0..6 {
+        std::thread::sleep(Duration::from_millis(10));
+        if k % 2 == 0 {
+            engine.swap_model(Arc::clone(&model_b));
+        } else {
+            engine.swap_model(Arc::clone(&model_a));
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    assert_eq!(engine.generation(), 6);
+    // Quiesced: a fresh request must serve the final model bitwise.
+    let n = cone(0);
+    let last = engine.client().embed_cone(n.clone(), None).expect("serve");
+    assert_eq!(last.data, offline_cls(&model_a, &n));
+}
+
+#[test]
+fn overload_sheds_in_process_requests_and_keeps_serving() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let engine = Engine::new(
+        Arc::clone(&model),
+        ServeConfig {
+            lanes: 1,
+            queue_depth: 1,
+            max_batch: 1,
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(engine.lane_count(), 1);
+
+    // Occupy the single lane with an expensive cone, give the batcher a
+    // moment to claim it, then flood from eight threads: with the
+    // batcher busy and the queue bounded at one, most must shed.
+    let mut big = Netlist::new("big");
+    let a = big.add_gate("a", CellKind::Input, vec![]);
+    let b = big.add_gate("b", CellKind::Input, vec![]);
+    let mut prev = big.add_gate("x", CellKind::Xor2, vec![a, b]);
+    for i in 0..400 {
+        prev = big.add_gate(format!("c{i}"), CellKind::Inv, vec![prev]);
+    }
+    big.add_gate("y", CellKind::Output, vec![prev]);
+    let big = big.validate().expect("valid");
+    let blocker = {
+        let client = engine.client();
+        let big = big.clone();
+        std::thread::spawn(move || client.embed_cone(big, None).expect("blocker"))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+
+    let flood: Vec<_> = (0..8)
+        .map(|i| {
+            let client = engine.client();
+            std::thread::spawn(move || client.embed_cone(cone(i), None))
+        })
+        .collect();
+    let outcomes: Vec<_> = flood.into_iter().map(|h| h.join().expect("join")).collect();
+    let shed = outcomes
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Overloaded)))
+        .count();
+    let served = outcomes.iter().filter(|r| r.is_ok()).count();
+    assert!(shed >= 1, "a bounded queue under flood must shed load");
+    assert_eq!(
+        shed + served,
+        8,
+        "every request answers promptly: served or typed Overloaded, got {outcomes:?}"
+    );
+    assert_eq!(engine.stats().shed, shed as u64);
+
+    let blocked = blocker.join().expect("blocker thread");
+    assert_eq!(blocked.data, offline_cls(&model, &big));
+    // The engine keeps serving new load after the flood.
+    let n = cone(1);
+    let after = engine.client().embed_cone(n.clone(), None).expect("serve");
+    assert_eq!(after.data, offline_cls(&model, &n));
+}

@@ -100,4 +100,7 @@ fn main() {
     println!("\nDone. See the benches in crates/bench for every paper table and figure,");
     println!("and `cargo run --release --example serve_demo` for the embedding-serving");
     println!("engine (dynamic batching + structural-hash cone cache) on this model.");
+    println!("For serving over the network — the TCP front-end, multi-lane batching,");
+    println!("typed load shedding, and checkpoint hot-swaps — run");
+    println!("`cargo run --release --example serve_net_demo`.");
 }

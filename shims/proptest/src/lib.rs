@@ -218,7 +218,7 @@ any_strategy!(u32, u64, bool, f32, f64);
 pub mod collection {
     use super::{BoxedStrategy, Strategy};
 
-    /// Sizes accepted by [`vec`]: a fixed length or a length range.
+    /// Sizes accepted by [`vec()`](fn@vec): a fixed length or a length range.
     pub trait IntoSize: Clone + 'static {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut rand::rngs::StdRng) -> usize;
