@@ -1,0 +1,170 @@
+//! Bitwise equivalence of geometry-modality training and serving paths,
+//! mirroring `crates/nn/tests/data_parallel_equivalence.rs`: a fusion
+//! training step through the thread-pool data-parallel driver must equal
+//! the serial reference bit for bit — gradients, loss, and the parameters
+//! after the Adam update. CI replays this suite at `RAYON_NUM_THREADS=1`
+//! and `4`, which together with the kernel-equivalence suite makes the
+//! fused embedding path bitwise identical at any thread count.
+
+use nettag_geom::{FusionModel, GeomEncoder, GEOM_DIM};
+use nettag_nn::{
+    data_parallel, weighted_sum, Adam, GradStore, Graph, Layer, NodeId, SampleTape, Tensor,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_stores_bitwise_equal(a: &GradStore, b: &GradStore) {
+    assert_eq!(a.len(), b.len(), "store sizes differ");
+    for ((k1, g1), (k2, g2)) in a.iter().zip(b.iter()) {
+        assert_eq!(k1, k2, "store entry order differs");
+        assert_eq!(
+            g1.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            g2.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "gradient for key {k1} differs"
+        );
+    }
+}
+
+/// One fusion training step: per-sample tapes run GeomEncoder +
+/// FusionHead end to end, the combine tape averages the per-sample MSE
+/// losses — the exact shape `train_fusion` uses.
+fn fusion_step(
+    model: &FusionModel,
+    samples: &[(Tensor, Tensor, f32)],
+    store: &mut GradStore,
+    serial: bool,
+) -> f32 {
+    let n = samples.len();
+    let build = |i: usize| {
+        let (cls, geom, target) = &samples[i];
+        let mut g = Graph::new();
+        let c = g.constant(cls.clone());
+        let f = g.constant(geom.clone());
+        let fused = model.forward(&mut g, c, f);
+        let pooled = g.mean_rows(fused);
+        let loss = g.mse(
+            pooled,
+            Tensor::from_vec(1, cls.cols, vec![*target; cls.cols]),
+        );
+        SampleTape {
+            graph: g,
+            outputs: vec![loss],
+        }
+    };
+    let combine = |g: &mut Graph, leaves: &[Vec<NodeId>]| {
+        let losses: Vec<(NodeId, f32)> = leaves.iter().map(|l| (l[0], 1.0 / n as f32)).collect();
+        weighted_sum(g, &losses)
+    };
+    if serial {
+        data_parallel::step_serial(n, build, combine, store)
+    } else {
+        data_parallel::step(n, build, combine, store)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Parallel fusion step == serial reference, bitwise, including the
+    /// parameters (and Adam moments) after the update — run twice with
+    /// reused stores so buffer reuse cannot change bits.
+    #[test]
+    fn fusion_step_is_bitwise_equal_to_serial(
+        seed in 0u64..1000,
+        batch in 2usize..6,
+        gates in 3usize..10,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m_par = FusionModel::new(8, 2, seed);
+        let mut m_ser = m_par.clone();
+        let samples: Vec<(Tensor, Tensor, f32)> = (0..batch)
+            .map(|i| {
+                (
+                    Tensor::xavier(1, 8, &mut rng),
+                    Tensor::xavier(gates, GEOM_DIM, &mut rng),
+                    (i as f32) / batch as f32,
+                )
+            })
+            .collect();
+        let mut s_par = GradStore::new();
+        let mut s_ser = GradStore::new();
+        for _ in 0..2 {
+            let l_par = fusion_step(&m_par, &samples, &mut s_par, false);
+            let l_ser = fusion_step(&m_ser, &samples, &mut s_ser, true);
+            prop_assert_eq!(l_par.to_bits(), l_ser.to_bits());
+            assert_stores_bitwise_equal(&s_par, &s_ser);
+            let mut opt_p = Adam::new(0.01);
+            let mut opt_s = Adam::new(0.01);
+            opt_p.step(&mut m_par.params_mut(), &s_par);
+            opt_s.step(&mut m_ser.params_mut(), &s_ser);
+            for (pp, ps) in m_par.params_mut().iter().zip(m_ser.params_mut().iter()) {
+                prop_assert_eq!(&pp.value.data, &ps.value.data);
+                prop_assert_eq!(&pp.m.data, &ps.m.data);
+                prop_assert_eq!(&pp.v.data, &ps.v.data);
+            }
+        }
+    }
+
+    /// The tapeless serving path stays bit-identical to the tape forward
+    /// for arbitrary shapes — after training steps, not just at init.
+    #[test]
+    fn fuse_matches_tape_after_updates(seed in 0u64..1000, gates in 2usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = FusionModel::new(8, 2, seed ^ 1);
+        let samples: Vec<(Tensor, Tensor, f32)> = (0..3)
+            .map(|_| (Tensor::xavier(1, 8, &mut rng), Tensor::xavier(gates, GEOM_DIM, &mut rng), 0.5))
+            .collect();
+        let mut store = GradStore::new();
+        fusion_step(&model, &samples, &mut store, false);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut model.params_mut(), &store);
+        let (cls, geom, _) = &samples[0];
+        let mut g = Graph::new();
+        let c = g.constant(cls.clone());
+        let f = g.constant(geom.clone());
+        let y = model.forward(&mut g, c, f);
+        prop_assert_eq!(&g.value(y).data, &model.fuse(cls, geom).data);
+    }
+}
+
+/// The standalone encoder also trains bitwise-identically through the
+/// driver (it is the only trainable piece serving touches on the token
+/// side).
+#[test]
+fn encoder_step_is_bitwise_equal_to_serial() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let enc_par = GeomEncoder::new(8, 77);
+    let enc_ser = enc_par.clone();
+    let feats: Vec<Tensor> = (0..5)
+        .map(|_| Tensor::xavier(6, GEOM_DIM, &mut rng))
+        .collect();
+    let run = |enc: &GeomEncoder, store: &mut GradStore, serial: bool| {
+        let build = |i: usize| {
+            let mut g = Graph::new();
+            let f = g.constant(feats[i].clone());
+            let tokens = enc.forward(&mut g, f);
+            let pooled = g.mean_rows(tokens);
+            let loss = g.mse(pooled, Tensor::zeros(1, 8));
+            SampleTape {
+                graph: g,
+                outputs: vec![loss],
+            }
+        };
+        let combine = |g: &mut Graph, leaves: &[Vec<NodeId>]| {
+            let losses: Vec<(NodeId, f32)> = leaves.iter().map(|l| (l[0], 1.0 / 5.0)).collect();
+            weighted_sum(g, &losses)
+        };
+        if serial {
+            data_parallel::step_serial(5, build, combine, store)
+        } else {
+            data_parallel::step(5, build, combine, store)
+        }
+    };
+    let mut s_par = GradStore::new();
+    let mut s_ser = GradStore::new();
+    let l_par = run(&enc_par, &mut s_par, false);
+    let l_ser = run(&enc_ser, &mut s_ser, true);
+    assert_eq!(l_par.to_bits(), l_ser.to_bits());
+    assert_stores_bitwise_equal(&s_par, &s_ser);
+}

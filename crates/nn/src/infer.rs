@@ -69,12 +69,20 @@ impl LayerNorm {
 impl MultiHeadAttention {
     /// Tapeless full self-attention over an n×d sequence.
     pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.infer_cross(x, x)
+    }
+
+    /// Tapeless cross-attention (queries from `query`, keys/values from
+    /// `context`) — mirrors
+    /// [`MultiHeadAttention::forward_cross`](crate::layers::MultiHeadAttention::forward_cross)
+    /// kernel for kernel.
+    pub fn infer_cross(&self, query: &Tensor, context: &Tensor) -> Tensor {
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let mut heads = Vec::with_capacity(self.wq.len());
         for h in 0..self.wq.len() {
-            let q = self.wq[h].infer(x);
-            let k = self.wk[h].infer(x);
-            let v = self.wv[h].infer(x);
+            let q = self.wq[h].infer(query);
+            let k = self.wk[h].infer(context);
+            let v = self.wv[h].infer(context);
             let scores = q.matmul_bt(&k);
             let scaled = scores.map(|s| s * scale);
             let attn = scaled.softmax_rows();
@@ -242,6 +250,32 @@ mod tests {
         let y_tape = g.value(y).clone();
         let y_infer = block.infer(&x);
         assert_eq!(y_tape.data, y_infer.data, "tapeless must be bit-identical");
+    }
+
+    #[test]
+    fn cross_attention_infer_matches_tape_bitwise() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let attn = MultiHeadAttention::new(16, 4, &mut rng);
+        let q = Tensor::xavier(1, 16, &mut rng);
+        let kv = Tensor::xavier(11, 16, &mut rng);
+        let mut g = Graph::new();
+        let qn = g.constant(q.clone());
+        let kn = g.constant(kv.clone());
+        let y = attn.forward_cross(&mut g, qn, kn);
+        let y_tape = g.value(y).clone();
+        let y_infer = attn.infer_cross(&q, &kv);
+        assert_eq!(y_tape.rows, 1);
+        assert_eq!(y_tape.data, y_infer.data, "tapeless must be bit-identical");
+        // Self-attention is the degenerate case of cross-attention; the
+        // delegation must not change bits.
+        let mut g2 = Graph::new();
+        let xn = g2.constant(kv.clone());
+        let self_attn = attn.forward(&mut g2, xn);
+        assert_eq!(
+            g2.value(self_attn).data,
+            attn.infer_cross(&kv, &kv).data,
+            "forward(x) == infer_cross(x, x) bit for bit"
+        );
     }
 
     #[test]

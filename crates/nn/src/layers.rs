@@ -223,12 +223,20 @@ impl MultiHeadAttention {
 
     /// Full (unmasked) self-attention over an n×d sequence.
     pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        self.forward_cross(g, x, x)
+    }
+
+    /// Cross-attention: queries projected from the m×d `query` sequence,
+    /// keys/values from the n×d `context` sequence, output m×d.
+    /// `forward_cross(g, x, x)` is exactly `forward(g, x)` — the same
+    /// kernels run in the same order.
+    pub fn forward_cross(&self, g: &mut Graph, query: NodeId, context: NodeId) -> NodeId {
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let mut heads = Vec::with_capacity(self.wq.len());
         for h in 0..self.wq.len() {
-            let q = self.wq[h].forward(g, x);
-            let k = self.wk[h].forward(g, x);
-            let v = self.wv[h].forward(g, x);
+            let q = self.wq[h].forward(g, query);
+            let k = self.wk[h].forward(g, context);
+            let v = self.wv[h].forward(g, context);
             let scores = g.matmul_bt(q, k);
             let scaled = g.scale(scores, scale);
             let attn = softmax_rows(g, scaled);

@@ -62,13 +62,20 @@ impl FlowOutcome {
     /// indexed by gate id of `self.netlist`.
     pub fn phys_props(&self, lib: &Library) -> Vec<PhysProps> {
         let n = self.netlist.gate_count();
+        // One library lookup per cell kind up front instead of one per
+        // gate — `area_by_kind[kind.index()]` replaces the `params(kind)`
+        // call inside the gate loop.
+        let mut area_by_kind = vec![0.0f64; nettag_netlist::ALL_CELL_KINDS.len()];
+        for &kind in nettag_netlist::ALL_CELL_KINDS.iter() {
+            area_by_kind[kind.index()] = lib.params(kind).area;
+        }
         let mut out = Vec::with_capacity(n);
         for (id, g) in self.netlist.iter() {
             let i = id.index();
             let p = self.parasitics.net(id);
             out.push(PhysProps {
                 power: self.power.dynamic[i] + self.power.leakage[i],
-                area: lib.params(g.kind).area * g.size,
+                area: area_by_kind[g.kind.index()] * g.size,
                 delay: self.timing.gate_delay[i],
                 toggle_rate: self.activity.toggle_rate[i],
                 probability: self.activity.probability[i],
@@ -168,6 +175,29 @@ mod tests {
         let props = out.phys_props(&lib);
         assert_eq!(props.len(), out.netlist.gate_count());
         assert!(props.iter().all(|p| p.area >= 0.0 && p.power >= 0.0));
+    }
+
+    #[test]
+    fn phys_props_match_per_gate_library_lookup() {
+        // Regression for the per-kind area prepass: every field must equal
+        // the straightforward per-gate `lib.params(g.kind)` recompute.
+        let n = design();
+        let lib = Library::default();
+        let out = run_flow(&n, &lib, &FlowConfig::default());
+        let props = out.phys_props(&lib);
+        for (id, g) in out.netlist.iter() {
+            let i = id.index();
+            let p = out.parasitics.net(id);
+            let got = &props[i];
+            assert_eq!(got.power, out.power.dynamic[i] + out.power.leakage[i]);
+            assert_eq!(got.area, lib.params(g.kind).area * g.size);
+            assert_eq!(got.delay, out.timing.gate_delay[i]);
+            assert_eq!(got.toggle_rate, out.activity.toggle_rate[i]);
+            assert_eq!(got.probability, out.activity.probability[i]);
+            assert_eq!(got.load, p.total_load);
+            assert_eq!(got.capacitance, p.capacitance);
+            assert_eq!(got.resistance, p.resistance);
+        }
     }
 
     #[test]

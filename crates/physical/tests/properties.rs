@@ -96,6 +96,43 @@ proptest! {
         prop_assert!(a.probability.iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 
+    /// Total HPWL is exactly the sum of per-driver net HPWLs, and every
+    /// net HPWL is non-negative and finite.
+    #[test]
+    fn total_hpwl_is_sum_of_net_hpwls(n in arb_netlist()) {
+        let lib = Library::default();
+        let p = place(&n, &lib, &PlaceConfig::default());
+        let mut sum = 0.0;
+        for id in n.ids() {
+            let h = p.net_hpwl(&n, id);
+            prop_assert!(h.is_finite() && h >= 0.0);
+            if n.fanout(id).is_empty() {
+                prop_assert_eq!(h, 0.0, "driverless nets span nothing");
+            }
+            sum += h;
+        }
+        prop_assert_eq!(sum, p.total_hpwl(&n));
+    }
+
+    /// HPWL is translation-invariant: shifting every placed cell by the
+    /// same offset leaves every net's half-perimeter unchanged.
+    #[test]
+    fn net_hpwl_is_translation_invariant(n in arb_netlist(), dx in -50.0f64..50.0, dy in -50.0f64..50.0) {
+        let lib = Library::default();
+        let p = place(&n, &lib, &PlaceConfig::default());
+        let mut shifted = p.clone();
+        for c in shifted.coords.iter_mut() {
+            c.0 += dx;
+            c.1 += dy;
+        }
+        for id in n.ids() {
+            let a = p.net_hpwl(&n, id);
+            let b = shifted.net_hpwl(&n, id);
+            prop_assert!((a - b).abs() < 1e-9, "net {:?}: {} vs {}", id, a, b);
+        }
+        prop_assert!((p.total_hpwl(&n) - shifted.total_hpwl(&n)).abs() < 1e-6);
+    }
+
     /// The full flow is deterministic and its area includes the cell area.
     #[test]
     fn flow_is_deterministic_and_area_consistent(n in arb_netlist()) {

@@ -35,6 +35,7 @@ use crate::{ServeConfig, ServeError};
 use nettag_core::{load_checkpoint_shared, reload_checkpoint_shared, ClassifierHead, NetTag};
 use nettag_expr::token::{tokenize_expr, TokenId, Vocab};
 use nettag_expr::{parse_expr, Expr};
+use nettag_geom::{cone_geometry, FusionModel};
 use nettag_netlist::{
     structural_hash_with_phys, synthesis_phys_estimates, Library, Netlist, PhysProps, Tag,
 };
@@ -97,7 +98,21 @@ pub(crate) enum RawRequest {
         /// Expression source text.
         text: String,
     },
+    /// Embed a cone and fuse it with its layout geometry
+    /// ([`Client::embed_cone_fused`]).
+    ConeFused {
+        /// The cone to embed.
+        netlist: Netlist,
+        /// Optional per-gate sign-off attributes.
+        phys: Option<Vec<PhysProps>>,
+    },
 }
+
+/// Salt XORed into a cone's structural digest to key its *fused*
+/// embedding: the fused result is a different value computed from the
+/// same inputs, so it must share the digest (dedup against the plain
+/// compute) but never alias the plain cache entry.
+const FUSED_SALT: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c834;
 
 /// A routed request: validation done, digest computed, lane chosen.
 enum RequestKind {
@@ -109,6 +124,11 @@ enum RequestKind {
     },
     Expr {
         expr: Expr,
+    },
+    ConeFused {
+        netlist: Netlist,
+        props: Vec<PhysProps>,
+        key: u128,
     },
 }
 
@@ -163,6 +183,7 @@ struct ModelState {
 struct Shared {
     state: RwLock<ModelState>,
     head: Option<ClassifierHead>,
+    fusion: Option<FusionModel>,
     lib: Library,
     vocab: Vocab,
     cache: ConeCache,
@@ -192,13 +213,20 @@ pub struct Client {
 impl Engine {
     /// Starts an engine over a (frozen) model with no prediction head.
     pub fn new(model: Arc<NetTag>, cfg: ServeConfig) -> Engine {
-        Engine::with_classifier_opt(model, None, cfg)
+        Engine::build(model, None, None, cfg)
     }
 
     /// Starts an engine that also serves `predict` requests through a
     /// fine-tuned classifier head (input: the cone `[CLS]` embedding).
     pub fn with_classifier(model: Arc<NetTag>, head: ClassifierHead, cfg: ServeConfig) -> Engine {
-        Engine::with_classifier_opt(model, Some(head), cfg)
+        Engine::build(model, Some(head), None, cfg)
+    }
+
+    /// Starts an engine that also serves [`Client::embed_cone_fused`]
+    /// requests through a frozen geometry fusion model (embedding width
+    /// must match the serving model's).
+    pub fn with_fusion(model: Arc<NetTag>, fusion: FusionModel, cfg: ServeConfig) -> Engine {
+        Engine::build(model, None, Some(fusion), cfg)
     }
 
     /// Starts an engine from a checkpoint on disk. Loading goes through
@@ -214,9 +242,10 @@ impl Engine {
         Ok(Engine::new(model, cfg))
     }
 
-    fn with_classifier_opt(
+    fn build(
         model: Arc<NetTag>,
         head: Option<ClassifierHead>,
+        fusion: Option<FusionModel>,
         cfg: ServeConfig,
     ) -> Engine {
         let lane_count = if cfg.lanes == 0 {
@@ -230,6 +259,7 @@ impl Engine {
                 generation: 0,
             }),
             head,
+            fusion,
             lib: Library::default(),
             vocab: NetTag::vocab(),
             cache: ConeCache::new(cfg.cache_capacity),
@@ -403,6 +433,39 @@ impl Client {
         }
     }
 
+    /// Embeds a netlist and fuses the embedding with the cone's layout
+    /// geometry through the engine's [`FusionModel`] — `1 × embed_dim`,
+    /// bitwise identical to running
+    /// [`nettag_geom::cone_geometry`] + [`FusionModel::fuse`] on the
+    /// offline `[CLS]` embedding (the engine calls exactly those
+    /// functions).
+    ///
+    /// Rides the same batcher lanes as [`Client::embed_cone`]: a fused
+    /// request coalesces, dedups against plain requests for the same
+    /// structure (the underlying `[CLS]` pass is shared), and caches.
+    /// The cache needs no extra key material for geometry — the spatial
+    /// features are a deterministic (seeded-flow) function of the cone
+    /// netlist and its physical attributes, which is precisely what
+    /// [`nettag_netlist::structural_hash_with_phys`] already digests;
+    /// fused entries store under that digest XOR a private salt so they
+    /// never alias plain embeddings.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoFusion`] when the engine was built without a
+    /// fusion model ([`Engine::with_fusion`]); otherwise as
+    /// [`Client::embed_cone`].
+    pub fn embed_cone_fused(
+        &self,
+        netlist: Netlist,
+        phys: Option<Vec<PhysProps>>,
+    ) -> Result<Arc<Tensor>, ServeError> {
+        match self.call(RawRequest::ConeFused { netlist, phys })? {
+            Response::Embedding(e) => Ok(e),
+            Response::Class(_) => unreachable!("embed request answered with a class"),
+        }
+    }
+
     /// Embeds a standalone symbolic gate expression (e.g.
     /// `"!((R1 ^ R2) | !R2)"`) through ExprLLM — `1 × embed_dim`,
     /// bitwise identical to [`nettag_core::ExprLlm::encode`] on the
@@ -457,17 +520,7 @@ impl Client {
                 if predict && self.shared.head.is_none() {
                     return Err(ServeError::NoClassifier);
                 }
-                let props = match phys {
-                    Some(p) if p.len() != netlist.gate_count() => {
-                        return Err(ServeError::Invalid(format!(
-                            "phys length {} != gate count {}",
-                            p.len(),
-                            netlist.gate_count()
-                        )));
-                    }
-                    Some(p) => p,
-                    None => synthesis_phys_estimates(&netlist, &self.shared.lib),
-                };
+                let props = self.resolve_props(&netlist, phys)?;
                 let key = structural_hash_with_phys(&netlist, &props);
                 let lane = (key % self.lanes.len() as u128) as usize;
                 Ok((
@@ -480,12 +533,49 @@ impl Client {
                     },
                 ))
             }
+            RawRequest::ConeFused { netlist, phys } => {
+                if self.shared.fusion.is_none() {
+                    return Err(ServeError::NoFusion);
+                }
+                let props = self.resolve_props(&netlist, phys)?;
+                let key = structural_hash_with_phys(&netlist, &props);
+                // Lane by the *plain* digest: fused and plain requests
+                // for the same structure meet in one lane and share the
+                // underlying `[CLS]` compute.
+                let lane = (key % self.lanes.len() as u128) as usize;
+                Ok((
+                    lane,
+                    RequestKind::ConeFused {
+                        netlist,
+                        props,
+                        key,
+                    },
+                ))
+            }
             RawRequest::Expr { text } => {
                 let expr = parse_expr(&text)
                     .map_err(|e| ServeError::Invalid(format!("expression: {e}")))?;
                 let lane = (fnv1a(text.as_bytes()) % self.lanes.len() as u64) as usize;
                 Ok((lane, RequestKind::Expr { expr }))
             }
+        }
+    }
+
+    /// Validates caller-supplied physical attributes or falls back to
+    /// synthesis estimates.
+    fn resolve_props(
+        &self,
+        netlist: &Netlist,
+        phys: Option<Vec<PhysProps>>,
+    ) -> Result<Vec<PhysProps>, ServeError> {
+        match phys {
+            Some(p) if p.len() != netlist.gate_count() => Err(ServeError::Invalid(format!(
+                "phys length {} != gate count {}",
+                p.len(),
+                netlist.gate_count()
+            ))),
+            Some(p) => Ok(p),
+            None => Ok(synthesis_phys_estimates(netlist, &self.shared.lib)),
         }
     }
 
@@ -584,6 +674,8 @@ enum Plan {
     Ready { emb: Arc<Tensor>, predict: bool },
     /// Answered by the cone computed under `key` this batch.
     Wait { key: u128, predict: bool },
+    /// Answered by the fused embedding computed under `key` this batch.
+    WaitFused { key: u128 },
     /// Answered by row `row` of the batched ExprLLM pass.
     ExprRow { row: usize },
 }
@@ -604,8 +696,36 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
     // (key, tag, row offset of this cone's tokens in `union`).
     let mut compute: Vec<(u128, Tag, usize)> = Vec::new();
     let mut scheduled: HashSet<u128> = HashSet::new();
+    // Fused requests scheduled this batch, plus `[CLS]` embeddings the
+    // fused pass can take from the cache instead of recomputing.
+    let mut fused_compute: Vec<(u128, Netlist, Vec<PhysProps>)> = Vec::new();
+    let mut scheduled_fused: HashSet<u128> = HashSet::new();
+    let mut cls_from_cache: HashMap<u128, Arc<Tensor>> = HashMap::new();
     let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
     let mut replies: Vec<ReplyTo> = Vec::with_capacity(batch.len());
+    // Schedules the plain `[CLS]` compute for `key` unless this batch
+    // already has it.
+    let schedule_cls = |key: u128,
+                        netlist: &Netlist,
+                        props: &[PhysProps],
+                        union: &mut Vec<Vec<TokenId>>,
+                        compute: &mut Vec<(u128, Tag, usize)>,
+                        scheduled: &mut HashSet<u128>| {
+        if !scheduled.insert(key) {
+            return;
+        }
+        let tag = Tag::from_netlist_with_phys(netlist, props, &opts);
+        let offset = if model.text_scale != 0.0 {
+            let o = union.len();
+            for i in 0..tag.len() {
+                union.push(tag.node_tokens(&shared.vocab, i, model.config.max_tokens, false));
+            }
+            o
+        } else {
+            usize::MAX
+        };
+        compute.push((key, tag, offset));
+    };
     for req in batch {
         replies.push(req.reply);
         let plan = match req.kind {
@@ -619,28 +739,57 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
                     shared.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
                     Plan::Ready { emb, predict }
                 } else {
-                    if scheduled.insert(key) {
+                    if scheduled.contains(&key) {
+                        shared.stats.dedup_hits.fetch_add(1, Ordering::SeqCst);
+                    } else {
                         shared.stats.cache_misses.fetch_add(1, Ordering::SeqCst);
-                        let tag = Tag::from_netlist_with_phys(&netlist, &props, &opts);
-                        let offset = if model.text_scale != 0.0 {
-                            let o = union.len();
-                            for i in 0..tag.len() {
-                                union.push(tag.node_tokens(
-                                    &shared.vocab,
-                                    i,
-                                    model.config.max_tokens,
-                                    false,
-                                ));
+                        schedule_cls(
+                            key,
+                            &netlist,
+                            &props,
+                            &mut union,
+                            &mut compute,
+                            &mut scheduled,
+                        );
+                    }
+                    Plan::Wait { key, predict }
+                }
+            }
+            RequestKind::ConeFused {
+                netlist,
+                props,
+                key,
+            } => {
+                // Fused entries live under the salted digest; the plain
+                // digest keys the shared `[CLS]` compute.
+                if let Some(emb) = shared.cache.get(key ^ FUSED_SALT, generation) {
+                    shared.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
+                    Plan::Ready {
+                        emb,
+                        predict: false,
+                    }
+                } else {
+                    if scheduled_fused.insert(key) {
+                        shared.stats.cache_misses.fetch_add(1, Ordering::SeqCst);
+                        if !scheduled.contains(&key) {
+                            if let Some(cls) = shared.cache.get(key, generation) {
+                                cls_from_cache.insert(key, cls);
+                            } else {
+                                schedule_cls(
+                                    key,
+                                    &netlist,
+                                    &props,
+                                    &mut union,
+                                    &mut compute,
+                                    &mut scheduled,
+                                );
                             }
-                            o
-                        } else {
-                            usize::MAX
-                        };
-                        compute.push((key, tag, offset));
+                        }
+                        fused_compute.push((key, netlist, props));
                     } else {
                         shared.stats.dedup_hits.fetch_add(1, Ordering::SeqCst);
                     }
-                    Plan::Wait { key, predict }
+                    Plan::WaitFused { key }
                 }
             }
             RequestKind::Expr { expr } => {
@@ -682,6 +831,26 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
         shared.cache.insert(key, Arc::clone(&emb), generation);
         computed.insert(key, emb);
     }
+    // Fused pass: geometry extraction (deterministic seeded flow) +
+    // tapeless cross-attentive fusion over the `[CLS]` embedding this
+    // batch computed (or found cached).
+    let mut computed_fused: HashMap<u128, Arc<Tensor>> =
+        HashMap::with_capacity(fused_compute.len());
+    if !fused_compute.is_empty() {
+        let fusion = shared.fusion.as_ref().expect("validated during routing");
+        for (key, netlist, props) in fused_compute {
+            let cls = computed
+                .get(&key)
+                .or_else(|| cls_from_cache.get(&key))
+                .expect("fused request's [CLS] embedding available");
+            let geom = cone_geometry(&netlist, &props, &shared.lib);
+            let emb = Arc::new(fusion.fuse(cls, &geom));
+            shared
+                .cache
+                .insert(key ^ FUSED_SALT, Arc::clone(&emb), generation);
+            computed_fused.insert(key, emb);
+        }
+    }
     // Response pass. A dropped client just discards its reply.
     for (plan, reply) in plans.into_iter().zip(replies) {
         let result = match plan {
@@ -689,6 +858,14 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
             Plan::Wait { key, predict } => {
                 let emb = Arc::clone(computed.get(&key).expect("scheduled cone computed"));
                 respond_cone(shared, emb, predict)
+            }
+            Plan::WaitFused { key } => {
+                let emb = Arc::clone(
+                    computed_fused
+                        .get(&key)
+                        .expect("scheduled fused cone computed"),
+                );
+                Ok(Response::Embedding(emb))
             }
             Plan::ExprRow { row } => {
                 let t = text.as_ref().expect("union encoded");

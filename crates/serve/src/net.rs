@@ -156,9 +156,12 @@ fn wire_result(result: Result<Response, ServeError>) -> ResponseBody {
                 ServeError::NoClassifier => ErrorCode::NoClassifier,
                 ServeError::Overloaded => ErrorCode::Overloaded,
                 ServeError::Closed => ErrorCode::Closed,
-                // Not produced by the engine for a served request; fold
-                // into Invalid rather than invent wire codes for them.
-                ServeError::Checkpoint(_) | ServeError::Transport(_) => ErrorCode::Invalid,
+                // Not produced by the engine for a served wire request
+                // (the fused path is in-process only); fold into Invalid
+                // rather than invent wire codes for them.
+                ServeError::Checkpoint(_) | ServeError::Transport(_) | ServeError::NoFusion => {
+                    ErrorCode::Invalid
+                }
             };
             ResponseBody::Error {
                 code,

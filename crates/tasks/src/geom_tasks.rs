@@ -1,0 +1,275 @@
+//! Layout-geometry fusion fine-tune scenarios (Table-V style).
+//!
+//! Two scenarios ride the fused embedding from `nettag_geom`: pre-route
+//! total-wirelength/congestion regression and per-register slack
+//! prediction. Ground truth comes from the repository's own physical
+//! flow — cone-level wirelength and congestion from the default
+//! (unoptimized) flow the geometry features are extracted from, slack
+//! from the *optimized* full-design flow exactly as Task 3 defines it.
+//! Every scenario is scored twice, from the fused embedding and from the
+//! plain TAGFormer cone embedding, so the geometry modality's
+//! contribution is read directly off the report.
+
+use crate::metrics::{regression_metrics, Regression};
+use nettag_core::{FinetuneConfig, NetTag, RegressorHead, RegressorKind};
+use nettag_geom::{geometry_features, train_fusion, FusionModel, FusionSample, FusionTrainConfig};
+use nettag_netlist::{cone_to_netlist, register_cone, synthesis_phys_estimates, Library, Tag};
+use nettag_nn::Tensor;
+use nettag_physical::{run_flow, FlowConfig};
+use nettag_synth::Design;
+
+/// Per-register geometry samples of one design.
+pub struct GeomSamples {
+    /// Frozen 1×d TAGFormer cone embeddings.
+    pub cls: Vec<Tensor>,
+    /// Per-cone spatial feature matrices (gates × `GEOM_DIM`).
+    pub geom: Vec<Tensor>,
+    /// log1p pre-route cone wirelength (total HPWL, um).
+    pub wirelength: Vec<f32>,
+    /// Routing-demand density: cone HPWL / die area (um/um²).
+    pub congestion: Vec<f32>,
+    /// Sign-off endpoint slack (ns) from the optimized full-design flow.
+    pub slack: Vec<f32>,
+}
+
+/// Extracts geometry-labeled register cones from a design.
+///
+/// Geometry features come from the same deterministic default flow the
+/// serving engine's `cone_geometry` runs, so fine-tune features and
+/// served fused embeddings see identical inputs.
+pub fn geom_samples(model: &NetTag, design: &Design, lib: &Library) -> GeomSamples {
+    let optimized = FlowConfig {
+        optimize: true,
+        ..FlowConfig::default()
+    };
+    let signoff = run_flow(&design.netlist, lib, &optimized);
+    let mut out = GeomSamples {
+        cls: Vec::new(),
+        geom: Vec::new(),
+        wirelength: Vec::new(),
+        congestion: Vec::new(),
+        slack: Vec::new(),
+    };
+    for reg in design.netlist.registers() {
+        let name = &design.netlist.gate(reg).name;
+        let Some(slack) = signoff.register_slack(name) else {
+            continue;
+        };
+        let cone = register_cone(&design.netlist, reg);
+        let sub = cone_to_netlist(&design.netlist, &cone);
+        if sub.gate_count() < 2 {
+            continue;
+        }
+        let props = synthesis_phys_estimates(&sub, lib);
+        let outcome = run_flow(&sub, lib, &FlowConfig::default());
+        let hpwl = outcome.placement.total_hpwl(&outcome.netlist);
+        let die = outcome.placement.die.max(f64::MIN_POSITIVE);
+        out.geom.push(geometry_features(&outcome, &props));
+        out.cls.push(
+            model
+                .embed_tag(&Tag::from_netlist(&sub, lib, &model.tag_options()))
+                .cls,
+        );
+        out.wirelength.push(hpwl.ln_1p() as f32);
+        out.congestion.push((hpwl / (die * die)) as f32);
+        out.slack.push(slack as f32);
+    }
+    out
+}
+
+/// Fused-vs-plain metrics for one regression target.
+#[derive(Debug, Clone)]
+pub struct GeomScenario {
+    /// Regressed from the fused (geometry × topology) embedding.
+    pub fused: Regression,
+    /// Regressed from the plain TAGFormer cone embedding.
+    pub plain: Regression,
+}
+
+/// The full layout-geometry fine-tune report.
+#[derive(Debug, Clone)]
+pub struct GeomTaskReport {
+    /// Pre-route total-wirelength regression (log1p um).
+    pub wirelength: GeomScenario,
+    /// Pre-route congestion (HPWL/die²) regression.
+    pub congestion: GeomScenario,
+    /// Per-register sign-off slack prediction (ns).
+    pub slack: GeomScenario,
+    /// Training cones (all designs but the held-out one).
+    pub train_cones: usize,
+    /// Held-out test cones.
+    pub test_cones: usize,
+}
+
+fn scenario(
+    train_x_fused: &[Vec<f32>],
+    train_x_plain: &[Vec<f32>],
+    train_y: &[f32],
+    test_x_fused: &[Vec<f32>],
+    test_x_plain: &[Vec<f32>],
+    test_y: &[f32],
+    finetune: &FinetuneConfig,
+) -> GeomScenario {
+    let truth: Vec<f64> = test_y.iter().map(|&v| v as f64).collect();
+    let eval = |train_x: &[Vec<f32>], test_x: &[Vec<f32>]| {
+        let head = RegressorHead::train(train_x, train_y, RegressorKind::Gbdt, finetune);
+        let pred: Vec<f64> = head.predict(test_x).iter().map(|&v| v as f64).collect();
+        regression_metrics(&pred, &truth)
+    };
+    GeomScenario {
+        fused: eval(train_x_fused, test_x_fused),
+        plain: eval(train_x_plain, test_x_plain),
+    }
+}
+
+/// Runs both geometry fine-tune scenarios with the last design held out.
+///
+/// The fusion model is trained on the training cones (wirelength-grounded
+/// regression through the data-parallel driver), then frozen and used to
+/// extract fused features for every cone.
+///
+/// # Panics
+///
+/// Panics with fewer than two designs or when no cones survive
+/// filtering.
+pub fn run_geom_tasks(
+    model: &NetTag,
+    fusion: &mut FusionModel,
+    designs: &[(String, Design)],
+    lib: &Library,
+    finetune: &FinetuneConfig,
+    train_cfg: &FusionTrainConfig,
+) -> GeomTaskReport {
+    assert!(designs.len() >= 2, "need a train/test design split");
+    let samples: Vec<GeomSamples> = designs
+        .iter()
+        .map(|(_, d)| geom_samples(model, d, lib))
+        .collect();
+    let (test, train) = samples.split_last().expect("non-empty");
+    assert!(
+        !test.cls.is_empty() && train.iter().any(|s| !s.cls.is_empty()),
+        "no cones survived filtering"
+    );
+    // Ground the fusion on the training cones' wirelength.
+    let fusion_data: Vec<FusionSample> = train
+        .iter()
+        .flat_map(|s| {
+            s.cls
+                .iter()
+                .zip(s.geom.iter())
+                .zip(s.wirelength.iter())
+                .map(|((cls, geom), &target)| FusionSample {
+                    cls: cls.clone(),
+                    geom: geom.clone(),
+                    target,
+                })
+        })
+        .collect();
+    train_fusion(fusion, &fusion_data, train_cfg);
+    let features = |set: &[&GeomSamples]| {
+        let mut fused = Vec::new();
+        let mut plain = Vec::new();
+        for s in set {
+            for (cls, geom) in s.cls.iter().zip(s.geom.iter()) {
+                fused.push(fusion.fuse(cls, geom).data.clone());
+                plain.push(cls.data.clone());
+            }
+        }
+        (fused, plain)
+    };
+    let train_refs: Vec<&GeomSamples> = train.iter().collect();
+    let (train_fused, train_plain) = features(&train_refs);
+    let (test_fused, test_plain) = features(&[test]);
+    let collect = |f: fn(&GeomSamples) -> &Vec<f32>| {
+        let train_y: Vec<f32> = train.iter().flat_map(|s| f(s).iter().copied()).collect();
+        let test_y: Vec<f32> = f(test).clone();
+        (train_y, test_y)
+    };
+    let (wl_train, wl_test) = collect(|s| &s.wirelength);
+    let (cg_train, cg_test) = collect(|s| &s.congestion);
+    let (sl_train, sl_test) = collect(|s| &s.slack);
+    GeomTaskReport {
+        wirelength: scenario(
+            &train_fused,
+            &train_plain,
+            &wl_train,
+            &test_fused,
+            &test_plain,
+            &wl_test,
+            finetune,
+        ),
+        congestion: scenario(
+            &train_fused,
+            &train_plain,
+            &cg_train,
+            &test_fused,
+            &test_plain,
+            &cg_test,
+            finetune,
+        ),
+        slack: scenario(
+            &train_fused,
+            &train_plain,
+            &sl_train,
+            &test_fused,
+            &test_plain,
+            &sl_test,
+            finetune,
+        ),
+        train_cones: train_fused.len(),
+        test_cones: test_fused.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettag_core::NetTagConfig;
+    use nettag_synth::{generate_design, Family, GenerateConfig};
+
+    #[test]
+    fn geom_tasks_produce_finite_metrics() {
+        let lib = Library::default();
+        let model = NetTag::new(NetTagConfig::tiny());
+        let designs: Vec<(String, Design)> = (0..2)
+            .map(|i| {
+                let d = generate_design(Family::OpenCores, i + 10, 3, &GenerateConfig::default());
+                (format!("d{i}"), d)
+            })
+            .collect();
+        let mut fusion = FusionModel::new(model.config.embed_dim, 2, 0xF1);
+        let report = run_geom_tasks(
+            &model,
+            &mut fusion,
+            &designs,
+            &lib,
+            &FinetuneConfig {
+                epochs: 20,
+                ..FinetuneConfig::default()
+            },
+            &FusionTrainConfig {
+                steps: 5,
+                batch: 4,
+                ..FusionTrainConfig::default()
+            },
+        );
+        assert!(report.train_cones > 0 && report.test_cones > 0);
+        for s in [&report.wirelength, &report.congestion, &report.slack] {
+            assert!(s.fused.r.is_finite() && s.fused.mape.is_finite());
+            assert!(s.plain.r.is_finite() && s.plain.mape.is_finite());
+        }
+    }
+
+    #[test]
+    fn geom_samples_align_lengths() {
+        let lib = Library::default();
+        let model = NetTag::new(NetTagConfig::tiny());
+        let d = generate_design(Family::OpenCores, 3, 3, &GenerateConfig::default());
+        let s = geom_samples(&model, &d, &lib);
+        assert_eq!(s.cls.len(), s.geom.len());
+        assert_eq!(s.cls.len(), s.wirelength.len());
+        assert_eq!(s.cls.len(), s.congestion.len());
+        assert_eq!(s.cls.len(), s.slack.len());
+        assert!(!s.cls.is_empty(), "expected register cones");
+    }
+}

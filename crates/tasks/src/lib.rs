@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod aig_encoders;
+pub mod geom_tasks;
 pub mod gnn;
 pub mod metrics;
 pub mod suite;
@@ -18,6 +19,7 @@ pub mod task2;
 pub mod task3;
 pub mod task4;
 
+pub use geom_tasks::{geom_samples, run_geom_tasks, GeomSamples, GeomScenario, GeomTaskReport};
 pub use gnn::{
     structural_features, GnnConfig, GnnEncoder, GnnGraph, GnnGraphModel, GnnNodeClassifier,
 };

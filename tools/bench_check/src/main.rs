@@ -8,10 +8,11 @@
 //!
 //! Metrics are flattened dotted paths of every numeric leaf present in
 //! *both* files. The direction of "worse" follows the metric name:
-//! throughputs and speedup ratios (`reqs_per_s`, `speedup`, `*_c8`)
-//! regress downward, timings (`*_ms`, `seconds`) regress upward, and
-//! environment / count fields (`threads`, `requests`, `cache_hits`,
-//! `shed`, …) are skipped entirely.
+//! throughputs, speedup ratios, and correlations (`*_per_s`, `speedup`,
+//! `*_c8`, `*_r`) regress downward, timings and errors (`*_ms`,
+//! `seconds`, `*_mape`) regress upward, and environment / count fields
+//! (`threads`, `requests`, `cache_hits`, `shed`, …) are skipped
+//! entirely.
 //!
 //! Regressions print as GitHub Actions `::warning::` annotations so they
 //! surface on the PR without failing the job — bench noise on shared CI
@@ -225,10 +226,15 @@ fn direction(path: &str) -> Direction {
     ) {
         return Direction::Skip;
     }
-    if leaf.ends_with("_ms") || leaf == "seconds" {
+    if leaf.ends_with("_ms") || leaf == "seconds" || leaf.ends_with("_mape") {
         return Direction::LowerIsBetter;
     }
-    if leaf.ends_with("reqs_per_s") || leaf == "speedup" || leaf.ends_with("_c8") {
+    if leaf.ends_with("_per_s")
+        || leaf == "speedup"
+        || leaf.ends_with("_speedup")
+        || leaf.ends_with("_c8")
+        || leaf.ends_with("_r")
+    {
         return Direction::HigherIsBetter;
     }
     Direction::Skip
@@ -408,6 +414,19 @@ mod tests {
             direction("socket_vs_inprocess_c8"),
             Direction::HigherIsBetter
         );
+        assert_eq!(
+            direction("tasks.wirelength.fused_r"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction("tasks.slack.fused_mape"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction("extraction.cones_per_s"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction("serve.warm_speedup"), Direction::HigherIsBetter);
         assert_eq!(direction("threads"), Direction::Skip);
         assert_eq!(direction("overload.shed_rate"), Direction::Skip);
         assert_eq!(direction("scenarios.cold_c8.cache_misses"), Direction::Skip);
