@@ -12,6 +12,11 @@
 //!   single-thread references, at step-1 and step-2 batch shapes —
 //!   for these entries `seed_seconds` records the serial reference, so
 //!   `speedup` is the data-parallel term directly
+//! * the `simd` group: the same dispatch-table code path timed under a
+//!   forced-scalar tier and under runtime dispatch (axpy/dot at 1k and
+//!   64k elements, matmul_512, spmm_powerlaw) — `scalar_seconds` is the
+//!   pinned-scalar leg, so `speedup` isolates the lane-vectorization
+//!   term; set `NETTAG_SIMD` to probe a specific tier
 //!
 //! Run with `cargo bench -p nettag-bench --bench kernels`. Thread count
 //! follows `RAYON_NUM_THREADS` / `NETTAG_NUM_THREADS`. Results (and the
@@ -19,6 +24,7 @@
 //! `BENCH_kernels.json` in the working directory so future performance
 //! PRs have a trajectory to beat.
 
+use nettag_nn::simd::{self, SimdTier};
 use nettag_nn::{
     data_parallel, info_nce, weighted_sum, GradStore, Graph, Mlp, NodeId, Param, SampleTape,
     SparseMatrix, Tensor,
@@ -108,6 +114,18 @@ struct Entry {
     name: &'static str,
     seconds: f64,
     seed_seconds: Option<f64>,
+}
+
+/// Times the same closure twice: once pinned to the portable scalar
+/// lane tier, once under the process's runtime-dispatched tier. The
+/// whole timing loop runs inside one `with_tier` scope so neither leg
+/// pays per-iteration override overhead; `speedup` is scalar/dispatched
+/// (1.0x by construction when dispatch resolves to scalar).
+fn simd_pair(f: &mut impl FnMut()) -> (f64, f64) {
+    let scalar = simd::with_tier(SimdTier::Scalar, || time_it(&mut *f))
+        .expect("scalar tier always available");
+    let dispatched = time_it(&mut *f);
+    (scalar, dispatched)
 }
 
 fn main() {
@@ -328,6 +346,50 @@ fn main() {
         seed_seconds: Some(t_ser2),
     });
 
+    // --- simd group: forced-scalar vs runtime-dispatched lanes --------
+    // Each scenario drives the SAME dispatch-table code path twice (see
+    // `simd_pair`), so the speedup isolates the lane tier itself rather
+    // than comparing different kernels. The dispatched leg follows
+    // `NETTAG_SIMD` (auto on CI: AVX2 where detected, scalar elsewhere).
+    let simd_tier = simd::active_tier();
+    let mut simd_entries: Vec<(&'static str, f64, f64)> = Vec::new();
+    let rand_pair = |n: usize, rng: &mut StdRng| -> (Vec<f32>, Vec<f32>) {
+        (
+            (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        )
+    };
+    for (name, len) in [("axpy_1k", 1_000usize), ("axpy_64k", 65_536)] {
+        let (x, mut out) = rand_pair(len, &mut rng);
+        // Small coefficient keeps the accumulating output bounded (no
+        // infinities or subnormals) across millions of timed iterations.
+        let mut f = || (simd::kernels().axpy)(&mut out, 1e-5, &x);
+        let (scalar_s, disp_s) = simd_pair(&mut f);
+        simd_entries.push((name, scalar_s, disp_s));
+    }
+    for (name, len) in [("dot_1k", 1_000usize), ("dot_64k", 65_536)] {
+        let (x, y) = rand_pair(len, &mut rng);
+        let mut f = || {
+            black_box((simd::kernels().dot)(&x, &y));
+        };
+        let (scalar_s, disp_s) = simd_pair(&mut f);
+        simd_entries.push((name, scalar_s, disp_s));
+    }
+    {
+        let mut f = || {
+            black_box(a.matmul(&b));
+        };
+        let (scalar_s, disp_s) = simd_pair(&mut f);
+        simd_entries.push(("matmul_512", scalar_s, disp_s));
+    }
+    {
+        let mut f = || {
+            black_box(hub_adj.matmul(&hub_x));
+        };
+        let (scalar_s, disp_s) = simd_pair(&mut f);
+        simd_entries.push(("spmm_powerlaw", scalar_s, disp_s));
+    }
+
     // --- report ------------------------------------------------------
     println!("kernel benches ({threads} thread(s)):");
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -363,6 +425,27 @@ fn main() {
                 _ => String::new(),
             },
             if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  },\n");
+    println!("simd dispatch (tier {}):", simd_tier.name());
+    json.push_str(&format!(
+        "  \"simd\": {{\n    \"tier\": \"{}\",\n",
+        simd_tier.name()
+    ));
+    for (i, (name, scalar_s, disp_s)) in simd_entries.iter().enumerate() {
+        let sp = scalar_s / disp_s;
+        println!(
+            "  {:<24} {:>10.3} ms   (scalar {:>10.3} ms, speedup {:.2}x)",
+            name,
+            disp_s * 1e3,
+            scalar_s * 1e3,
+            sp
+        );
+        json.push_str(&format!(
+            "    \"{name}\": {{\"scalar_seconds\": {scalar_s:.6e}, \"seconds\": {disp_s:.6e}, \
+             \"speedup\": {sp:.3}}}{}\n",
+            if i + 1 == simd_entries.len() { "" } else { "," }
         ));
     }
     json.push_str("  }\n}\n");

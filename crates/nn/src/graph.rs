@@ -211,7 +211,8 @@ impl Graph {
 
     /// Elementwise sum.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a].value.zip(&self.nodes[b].value, |x, y| x + y);
+        let mut v = self.nodes[a].value.clone();
+        v.add_assign(&self.nodes[b].value);
         self.push(v, Op::Add(a, b))
     }
 
@@ -221,11 +222,9 @@ impl Graph {
         assert_eq!(rv.rows, 1, "add_row rhs must be 1×c");
         assert_eq!(av.cols, rv.cols, "add_row width");
         let mut v = av.clone();
-        for r in 0..v.rows {
-            let out_row = &mut v.data[r * v.cols..(r + 1) * v.cols];
-            for (o, &b) in out_row.iter_mut().zip(rv.data.iter()) {
-                *o += b;
-            }
+        let kn = crate::simd::kernels();
+        for out_row in v.data.chunks_exact_mut(rv.cols) {
+            (kn.add_assign)(out_row, &rv.data);
         }
         self.push(v, Op::AddRow(a, row))
     }
@@ -301,8 +300,11 @@ impl Graph {
         let mut out = Tensor::zeros(xv.rows, xv.cols);
         // Rows normalize independently — parallel over row blocks, each
         // row's statistics reduced in ascending column order on exactly
-        // one thread (bitwise identical at any thread count).
+        // one thread (bitwise identical at any thread count). The
+        // dispatch table is resolved here so pool workers inherit any
+        // `simd::with_tier` override from the calling thread.
         let cols = xv.cols;
+        let kn = crate::simd::kernels();
         nettag_par::for_each_zip3_mut(
             &mut out.data,
             cols,
@@ -323,11 +325,7 @@ impl Graph {
                         row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
                     let istd = 1.0 / (var + EPS).sqrt();
                     *istd_slot = istd;
-                    for c in 0..cols {
-                        let xh = (row[c] - mean) * istd;
-                        xhat_row[c] = xh;
-                        out_row[c] = xh * gv.at(0, c) + bv.at(0, c);
-                    }
+                    (kn.ln_fwd_row)(out_row, xhat_row, row, &gv.data, &bv.data, mean, istd);
                 }
             },
         );
@@ -616,10 +614,9 @@ impl Graph {
                 {
                     let (r, c) = shape(*b);
                     let gb = ensure(&mut inputs[*b], r, c);
+                    let kn = crate::simd::kernels();
                     for row in gpre.data.chunks_exact(gpre.cols) {
-                        for (o, &g) in gb.data.iter_mut().zip(row.iter()) {
-                            *o += g;
-                        }
+                        (kn.add_assign)(&mut gb.data, row);
                     }
                 }
                 if let Some(t) = scratch {
@@ -642,10 +639,9 @@ impl Graph {
                 }
                 let (r, c) = shape(*row);
                 let gr = ensure(&mut inputs[*row], r, c);
+                let kn = crate::simd::kernels();
                 for grow in g_out.data.chunks_exact(g_out.cols) {
-                    for (o, &g) in gr.data.iter_mut().zip(grow.iter()) {
-                        *o += g;
-                    }
+                    (kn.add_assign)(&mut gr.data, grow);
                 }
             }
             Op::Mul(a, b) => {
@@ -679,9 +675,8 @@ impl Graph {
             Op::Scale(a, cst) => {
                 let (r, c) = shape(*a);
                 let ga = ensure(&mut inputs[*a], r, c);
-                for (o, &g) in ga.data.iter_mut().zip(g_out.data.iter()) {
-                    *o += g * cst;
-                }
+                // g*cst == cst*g bitwise, so the shared axpy kernel applies.
+                (crate::simd::kernels().axpy)(&mut ga.data, *cst, &g_out.data);
             }
             Op::Relu(a) => {
                 let av = &self.nodes[*a].value;
@@ -782,21 +777,31 @@ impl Graph {
                 // that row's saved statistics — row-parallel, each row
                 // reduced in ascending column order by one thread.
                 let width = g_out.cols;
+                let kn = crate::simd::kernels();
                 nettag_par::for_each_row_block_mut(&mut dx.data, width, |first_row, dx_rows| {
                     for (i, dx_row) in dx_rows.chunks_exact_mut(width).enumerate() {
                         let row = first_row + i;
+                        let g_row = g_out.row_slice(row);
+                        let xhat_row = xhat.row_slice(row);
                         let mut sum_gdy = 0.0f32;
                         let mut sum_gdy_xhat = 0.0f32;
                         for c in 0..width {
-                            let gdy = g_out.at(row, c) * gv.at(0, c);
+                            let gdy = g_row[c] * gv.data[c];
                             sum_gdy += gdy;
-                            sum_gdy_xhat += gdy * xhat.at(row, c);
+                            sum_gdy_xhat += gdy * xhat_row[c];
                         }
-                        for (c, slot) in dx_row.iter_mut().enumerate() {
-                            let gdy = g_out.at(row, c) * gv.at(0, c);
-                            *slot += inv_std[row]
-                                * (gdy - sum_gdy / cols - xhat.at(row, c) * sum_gdy_xhat / cols);
-                        }
+                        (kn.ln_bwd_row)(
+                            dx_row,
+                            g_row,
+                            &gv.data,
+                            xhat_row,
+                            &crate::simd::LnBwdStats {
+                                istd: inv_std[row],
+                                sum_gdy,
+                                sum_gdy_xhat,
+                                cols,
+                            },
+                        );
                     }
                 });
             }

@@ -52,15 +52,16 @@ impl LayerNorm {
         let (gv, bv) = (&self.gain.value, &self.bias.value);
         let cols = x.cols;
         let mut out = Tensor::zeros(x.rows, x.cols);
+        let kn = crate::simd::kernels();
+        // The row kernel also emits xhat (the tape op saves it for the
+        // backward pass); serving discards it via one scratch row.
+        let mut xhat = vec![0.0f32; cols];
         for (r, out_row) in out.data.chunks_exact_mut(cols).enumerate() {
             let row = x.row_slice(r);
             let mean = row.iter().sum::<f32>() / cols as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
             let istd = 1.0 / (var + EPS).sqrt();
-            for c in 0..cols {
-                let xh = (row[c] - mean) * istd;
-                out_row[c] = xh * gv.at(0, c) + bv.at(0, c);
-            }
+            (kn.ln_fwd_row)(out_row, &mut xhat, row, &gv.data, &bv.data, mean, istd);
         }
         out
     }
@@ -133,7 +134,9 @@ impl Mlp {
 
 /// Elementwise sum (mirrors [`Graph::add`](crate::Graph::add)).
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
-    a.zip(b, |x, y| x + y)
+    let mut v = a.clone();
+    v.add_assign(b);
+    v
 }
 
 /// Sparse propagation `adj @ x` (mirrors [`Graph::spmm`](crate::Graph::spmm)).

@@ -31,8 +31,19 @@
 //! one tape per sample on worker threads, a small central combine tape,
 //! and a fixed-order gradient reduction that is bitwise identical at any
 //! thread count.
+//!
+//! ## SIMD dispatch and the unsafe policy
+//!
+//! Every numeric hot loop runs through the runtime-dispatched lane
+//! kernels in [`simd`] (scalar / AVX2 / opt-in FMA, selectable with
+//! `NETTAG_SIMD`). The crate is `#![deny(unsafe_code)]`; the **only**
+//! module allowed to override that is `simd/x86.rs`, which holds the
+//! `std::arch::x86_64` intrinsics behind `is_x86_feature_detected!`,
+//! compiles with `#![deny(unsafe_op_in_unsafe_fn)]`, and bounds-checks
+//! every pointer access with debug asserts. Everything else in the
+//! workspace stays unsafe-free.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod data_parallel;
@@ -43,6 +54,7 @@ pub mod infer;
 mod layers;
 mod loss;
 mod optim;
+pub mod simd;
 mod tensor;
 
 pub use data_parallel::SampleTape;

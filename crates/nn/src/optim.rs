@@ -64,16 +64,25 @@ impl Adam {
                 clip_scale = self.clip / total;
             }
         }
-        let bc1 = 1.0 - self.beta1.powi(self.t);
-        let bc2 = 1.0 - self.beta2.powi(self.t);
-        let (lr, beta1, beta2, eps, weight_decay) =
-            (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let h = crate::simd::AdamParams {
+            clip_scale,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            bc1: 1.0 - self.beta1.powi(self.t),
+            bc2: 1.0 - self.beta2.powi(self.t),
+            lr: self.lr,
+            eps: self.eps,
+            weight_decay: self.weight_decay,
+        };
         // Each parameter's update touches only its own value/m/v buffers,
         // and every element's update is independent — parallelize over
-        // the parameter list (each param updated by exactly one worker).
+        // the parameter list (each param updated by exactly one worker)
+        // with the fused elementwise kernel from the dispatch table
+        // (resolved here so workers inherit a `simd::with_tier` override).
         // Groups are balanced by element count, not param count: a bias
         // vector and a weight matrix must not count the same, or one
         // worker ends up with nearly all the arithmetic.
+        let kn = crate::simd::kernels();
         let mut groups = balanced_groups(params, nettag_par::num_threads());
         nettag_par::for_each_row_block_mut(&mut groups, 1, |_, chunk| {
             for group in chunk.iter_mut() {
@@ -87,18 +96,7 @@ impl Adam {
                         "gradient/parameter size mismatch for key {}",
                         p.key
                     );
-                    for i in 0..p.value.data.len() {
-                        let gi = g.data[i] * clip_scale;
-                        p.m.data[i] = beta1 * p.m.data[i] + (1.0 - beta1) * gi;
-                        p.v.data[i] = beta2 * p.v.data[i] + (1.0 - beta2) * gi * gi;
-                        let mhat = p.m.data[i] / bc1;
-                        let vhat = p.v.data[i] / bc2;
-                        let mut upd = lr * mhat / (vhat.sqrt() + eps);
-                        if weight_decay > 0.0 {
-                            upd += lr * weight_decay * p.value.data[i];
-                        }
-                        p.value.data[i] -= upd;
-                    }
+                    (kn.adam_update)(&mut p.value.data, &mut p.m.data, &mut p.v.data, &g.data, &h);
                 }
             }
         });

@@ -29,6 +29,7 @@
 //! `weights`) with a prebuilt transpose so the backward pass is a plain
 //! replay on contiguous memory.
 
+use crate::simd::{self, scalar::dot, SimdKernels, MM_CT as CT, MM_RT as RT, SPMM_CT};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -38,10 +39,13 @@ use serde::{Deserialize, Serialize};
 /// thread (same code path, one row block). Since `nettag-par` moved to a
 /// persistent worker pool, a parallel region costs a lock + condvar wake
 /// (single-digit microseconds) instead of scoped-thread spawns, so
-/// products down to ~128k multiply-adds — some tens of microseconds of
-/// serial work — now amortize the fan-out. Serving-sized batches clear
-/// this bar; per-gate toy shapes still run inline.
-const PAR_MIN_FLOPS: usize = 1 << 17;
+/// products down to ~256k multiply-adds — some tens of microseconds of
+/// serial work — amortize the fan-out. Serving-sized batches clear this
+/// bar; per-gate toy shapes still run inline. Raised from 1<<17 when the
+/// kernels moved to dispatched SIMD tiles: roughly 2× faster serial
+/// kernels double the serial work a pool wake must buy back, so the
+/// break-even product size doubles with them (see PERF.md).
+const PAR_MIN_FLOPS: usize = 1 << 18;
 
 /// A dense row-major 2-D tensor of f32.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -155,12 +159,17 @@ impl Tensor {
         );
         let inner = self.cols;
         let n = other.cols;
+        // Resolve the dispatch table once on the calling thread: the
+        // closure runs on pool workers, and capturing the table here keeps
+        // a `simd::with_tier` override in force across the fan-out.
+        let kn = simd::kernels();
         run_row_blocks(
             &mut out.data,
             n,
             self.rows * inner * n,
             |first_row, chunk| {
                 mm_block(
+                    kn,
                     &self.data[first_row * inner..],
                     inner,
                     &other.data,
@@ -205,12 +214,14 @@ impl Tensor {
         let inner = self.cols;
         let n = w.cols;
         let mut out = Tensor::zeros(self.rows, n);
+        let kn = simd::kernels();
         run_row_blocks(
             &mut out.data,
             n,
             self.rows * inner * n,
             |first_row, chunk| {
                 mm_block(
+                    kn,
                     &self.data[first_row * inner..],
                     inner,
                     &w.data,
@@ -219,9 +230,7 @@ impl Tensor {
                     false,
                 );
                 for row in chunk.chunks_exact_mut(n) {
-                    for (o, &b) in row.iter_mut().zip(bias.data.iter()) {
-                        *o += b;
-                    }
+                    (kn.add_assign)(row, &bias.data);
                 }
             },
         );
@@ -253,6 +262,7 @@ impl Tensor {
         );
         let inner = self.cols;
         let n = other.rows;
+        let kn = simd::kernels();
         run_row_blocks(
             &mut out.data,
             n,
@@ -263,7 +273,7 @@ impl Tensor {
                     let arow = &self.data[i * inner..(i + 1) * inner];
                     for (j, o) in out_row.iter_mut().enumerate() {
                         let brow = &other.data[j * inner..(j + 1) * inner];
-                        let s = dot(arow, brow);
+                        let s = (kn.dot)(arow, brow);
                         if accumulate {
                             *o += s;
                         } else {
@@ -314,6 +324,7 @@ impl Tensor {
         );
         let m = self.cols;
         let n = other.cols;
+        let kn = simd::kernels();
         run_row_blocks(&mut out.data, n, self.rows * m * n, |first_row, chunk| {
             if !accumulate {
                 chunk.fill(0.0);
@@ -325,10 +336,7 @@ impl Tensor {
                 let brow = &other.data[k * n..(k + 1) * n];
                 for bi in 0..rows_here {
                     let a = arow[first_row + bi];
-                    let out_row = &mut chunk[bi * n..(bi + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(brow.iter()) {
-                        *o += a * b;
-                    }
+                    (kn.axpy)(&mut chunk[bi * n..(bi + 1) * n], a, brow);
                 }
             }
         });
@@ -409,9 +417,7 @@ impl Tensor {
             (other.rows, other.cols),
             "add shapes"
         );
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        (simd::kernels().add_assign)(&mut self.data, &other.data);
     }
 
     /// Frobenius norm.
@@ -466,59 +472,53 @@ where
 
 /// Blocked multiply kernel for one contiguous block of output rows:
 /// `chunk (+)= A_block @ B` where `a` starts at the block's first row.
-/// Loop order is (row-block, column-panel, k, row): the `JB`-wide B panel
-/// stays hot across `IB` output rows, and every output element still
-/// accumulates in ascending-`k` order.
-/// Register-tile height (output rows held live per micro-kernel call).
-const RT: usize = 4;
-/// Register-tile width in floats (two 8-wide vector registers).
-const CT: usize = 16;
-
-fn mm_block(a: &[f32], inner: usize, b: &[f32], n: usize, chunk: &mut [f32], accumulate: bool) {
+/// Loop order is (row-block, column-panel, k, row): full
+/// [`RT`]×[`CT`] register tiles go through the dispatched
+/// [`SimdKernels::mm_tile`] micro-kernel (the output tile lives in
+/// registers across the whole `k` sweep, one load+store per element),
+/// and every output element still accumulates in ascending-`k` order —
+/// bitwise identical to the scalar reference on the scalar and AVX2
+/// tiers.
+#[allow(clippy::too_many_arguments)]
+fn mm_block(
+    kn: &SimdKernels,
+    a: &[f32],
+    inner: usize,
+    b: &[f32],
+    n: usize,
+    chunk: &mut [f32],
+    accumulate: bool,
+) {
     if !accumulate {
         chunk.fill(0.0);
     }
     let rows_here = chunk.len() / n;
-    // Full RT×CT register tiles: the output tile lives in registers
-    // across the whole k sweep, so out-memory traffic drops from
-    // O(inner) loads+stores per element to exactly one of each. Each
-    // element still accumulates in ascending-k order — bitwise identical
-    // to the scalar reference.
     let mut i = 0;
     while i + RT <= rows_here {
+        let arows: [&[f32]; RT] = [
+            &a[i * inner..(i + 1) * inner],
+            &a[(i + 1) * inner..(i + 2) * inner],
+            &a[(i + 2) * inner..(i + 3) * inner],
+            &a[(i + 3) * inner..(i + 4) * inner],
+        ];
         let mut j = 0;
         while j + CT <= n {
-            let mut acc = [[0.0f32; CT]; RT];
-            for (r, row) in acc.iter_mut().enumerate() {
-                row.copy_from_slice(&chunk[(i + r) * n + j..(i + r) * n + j + CT]);
-            }
-            let arows: [&[f32]; RT] = [
-                &a[i * inner..(i + 1) * inner],
-                &a[(i + 1) * inner..(i + 2) * inner],
-                &a[(i + 2) * inner..(i + 3) * inner],
-                &a[(i + 3) * inner..(i + 4) * inner],
-            ];
-            for k in 0..inner {
-                let bt: &[f32; CT] = b[k * n + j..k * n + j + CT].try_into().expect("tile width");
-                for (row, arow) in acc.iter_mut().zip(arows.iter()) {
-                    let av = arow[k];
-                    for (o, &bv) in row.iter_mut().zip(bt.iter()) {
-                        *o += av * bv;
-                    }
-                }
-            }
-            for (r, row) in acc.iter().enumerate() {
-                chunk[(i + r) * n + j..(i + r) * n + j + CT].copy_from_slice(row);
-            }
+            (kn.mm_tile)(
+                &arows,
+                &b[j..],
+                n,
+                &mut chunk[i * n + j..(i + RT - 1) * n + j + CT],
+                n,
+            );
             j += CT;
         }
         if j < n {
-            axpy_rows(a, inner, b, n, chunk, i, i + RT, j);
+            axpy_rows(kn, a, inner, b, n, chunk, i, i + RT, j);
         }
         i += RT;
     }
     if i < rows_here {
-        axpy_rows(a, inner, b, n, chunk, i, rows_here, 0);
+        axpy_rows(kn, a, inner, b, n, chunk, i, rows_here, 0);
     }
 }
 
@@ -527,6 +527,7 @@ fn mm_block(a: &[f32], inner: usize, b: &[f32], n: usize, chunk: &mut [f32], acc
 /// register-tiled fast path and the scalar reference.
 #[allow(clippy::too_many_arguments)]
 fn axpy_rows(
+    kn: &SimdKernels,
     a: &[f32],
     inner: usize,
     b: &[f32],
@@ -540,31 +541,9 @@ fn axpy_rows(
         let out_row = &mut chunk[i * n + cols_from..(i + 1) * n];
         for k in 0..inner {
             let av = a[i * inner + k];
-            let brow = &b[k * n + cols_from..(k + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
+            (kn.axpy)(out_row, av, &b[k * n + cols_from..(k + 1) * n]);
         }
     }
-}
-
-/// Dot product with a fixed reduction order (4 partial lanes combined in
-/// index order), shared by the parallel and reference `matmul_bt` paths.
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    let mut lanes = [0.0f32; 4];
-    let mut chunks_a = a.chunks_exact(4);
-    let mut chunks_b = b.chunks_exact(4);
-    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
-        for l in 0..4 {
-            lanes[l] += ca[l] * cb[l];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        tail += x * y;
-    }
-    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
 }
 
 /// A sparse matrix in CSR (compressed sparse row) layout, used for graph
@@ -727,6 +706,7 @@ impl SparseMatrix {
         assert_eq!(x.rows, self.n, "spmm shape");
         assert_eq!((out.rows, out.cols), (self.n, x.cols), "spmm out shape");
         let w = x.cols;
+        let kn = simd::kernels();
         run_row_blocks(
             &mut out.data,
             w,
@@ -734,43 +714,41 @@ impl SparseMatrix {
             |first_row, chunk| {
                 for (bi, orow) in chunk.chunks_exact_mut(w).enumerate() {
                     let (cols, ws) = csr.row(first_row + bi);
-                    spmm_row(cols, ws, x, orow, accumulate);
+                    spmm_row(kn, cols, ws, x, orow, accumulate);
                 }
             },
         );
     }
 }
 
-/// Feature-dim register tile width for the SpMM row kernel (two 8-wide
-/// vector registers, like the dense kernel's `CT`).
-const SPMM_CT: usize = 16;
-
 /// One CSR output row: `orow (+)= Σ_e weight_e · x[col_e, :]`.
 ///
-/// Wide feature matrices run through `SPMM_CT`-wide column blocks held in
-/// registers across the whole entry sweep, so output traffic drops from
+/// Wide feature matrices run through [`SPMM_CT`]-wide column blocks held
+/// in registers across the whole entry sweep (the dispatched
+/// [`SimdKernels::spmm_tile`] micro-kernel), so output traffic drops from
 /// one load+store per (entry, column) to exactly one store per column —
 /// the seed-style full-width axpy re-walked the output row once per
 /// entry. Every output element still accumulates in **ascending entry
 /// order** (the per-block sweep replays the same entries in the same
 /// order), so results are bitwise identical to the untiled loop and the
-/// nested-Vec seed reference.
-fn spmm_row(cols: &[u32], ws: &[f32], x: &Tensor, orow: &mut [f32], accumulate: bool) {
+/// nested-Vec seed reference on the scalar and AVX2 tiers.
+fn spmm_row(
+    kn: &SimdKernels,
+    cols: &[u32],
+    ws: &[f32],
+    x: &Tensor,
+    orow: &mut [f32],
+    accumulate: bool,
+) {
     let w = orow.len();
     let mut j = 0;
     while j + SPMM_CT <= w {
-        let mut acc = [0.0f32; SPMM_CT];
-        if accumulate {
-            acc.copy_from_slice(&orow[j..j + SPMM_CT]);
+        let tile = &mut orow[j..j + SPMM_CT];
+        if !accumulate {
+            // Accumulating into zeros is bitwise identical to a fresh tile.
+            tile.fill(0.0);
         }
-        for (&c, &wt) in cols.iter().zip(ws.iter()) {
-            let base = c as usize * w + j;
-            let xt: &[f32; SPMM_CT] = x.data[base..base + SPMM_CT].try_into().expect("tile width");
-            for (o, &v) in acc.iter_mut().zip(xt.iter()) {
-                *o += wt * v;
-            }
-        }
-        orow[j..j + SPMM_CT].copy_from_slice(&acc);
+        (kn.spmm_tile)(cols, ws, &x.data[j..], w, tile);
         j += SPMM_CT;
     }
     if j < w {
@@ -780,10 +758,7 @@ fn spmm_row(cols: &[u32], ws: &[f32], x: &Tensor, orow: &mut [f32], accumulate: 
             tail.fill(0.0);
         }
         for (&c, &wt) in cols.iter().zip(ws.iter()) {
-            let xrow = &x.data[c as usize * w + j..(c as usize + 1) * w];
-            for (o, &v) in tail.iter_mut().zip(xrow.iter()) {
-                *o += wt * v;
-            }
+            (kn.axpy)(tail, wt, &x.data[c as usize * w + j..(c as usize + 1) * w]);
         }
     }
 }

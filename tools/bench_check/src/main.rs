@@ -210,7 +210,9 @@ enum Direction {
 
 fn direction(path: &str) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path);
-    // Environment and raw-count fields: not comparable across runs.
+    // Environment, raw-count, and reference-leg fields: not comparable
+    // across runs (`seed_seconds` / `scalar_seconds` are the fixed
+    // reference legs of a speedup ratio — the ratio itself is gated).
     if matches!(
         leaf,
         "threads"
@@ -223,10 +225,15 @@ fn direction(path: &str) -> Direction {
             | "shed"
             | "shed_rate"
             | "seed_seconds"
+            | "scalar_seconds"
     ) {
         return Direction::Skip;
     }
-    if leaf.ends_with("_ms") || leaf == "seconds" || leaf.ends_with("_mape") {
+    if leaf.ends_with("_ms")
+        || leaf == "seconds"
+        || leaf.ends_with("_seconds")
+        || leaf.ends_with("_mape")
+    {
         return Direction::LowerIsBetter;
     }
     if leaf.ends_with("_per_s")
@@ -427,6 +434,14 @@ mod tests {
             Direction::HigherIsBetter
         );
         assert_eq!(direction("serve.warm_speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction("simd.axpy_64k.seconds"), Direction::LowerIsBetter);
+        assert_eq!(
+            direction("simd.axpy_64k.speedup"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction("simd.axpy_64k.scalar_seconds"), Direction::Skip);
+        assert_eq!(direction("kernels.x.seed_seconds"), Direction::Skip);
+        assert_eq!(direction("wall_seconds"), Direction::LowerIsBetter);
         assert_eq!(direction("threads"), Direction::Skip);
         assert_eq!(direction("overload.shed_rate"), Direction::Skip);
         assert_eq!(direction("scenarios.cold_c8.cache_misses"), Direction::Skip);
