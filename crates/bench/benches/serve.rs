@@ -26,6 +26,13 @@
 //!   loopback TCP front-end over the same load in-process: the framing +
 //!   syscall overhead of the wire (expected ≤ 1; the gap is the
 //!   transport tax, since both paths share the batcher lanes).
+//! * `resilience_off_speedup` — warm 8-client throughput with the
+//!   deadline machinery engaged (`warm_c8_deadline`: a generous
+//!   per-request budget nothing trips, fault injection disarmed) over
+//!   plain `warm_c8`: the steady-state price of the fault-tolerance
+//!   layer. Must sit at ~1.0 — deadlines are one `Instant` comparison
+//!   per request, panic isolation one `catch_unwind` per batch, and the
+//!   disarmed fault harness a single `Option` branch.
 //!
 //! An overload scenario floods a deliberately tiny bounded queue
 //! (`lanes=1, queue_depth=2, max_batch=1`) through one pipelined socket
@@ -43,7 +50,7 @@ use nettag_core::{NetTag, NetTagConfig};
 use nettag_netlist::{CellKind, Library, Netlist, Tag};
 use nettag_serve::{Engine, NetClient, NetServer, ServeConfig, ServeError};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Builds the `i`-th of 128 structurally distinct cone netlists: the
 /// first gate kind, an inverter-chain depth, and the combining gate kind
@@ -138,8 +145,15 @@ fn run_scenario(
     clients: usize,
     per_client: usize,
     warm: bool,
+    request_timeout: Option<Duration>,
 ) -> Scenario {
-    let engine = Engine::new(Arc::clone(model), ServeConfig::default());
+    let engine = Engine::new(
+        Arc::clone(model),
+        ServeConfig {
+            request_timeout,
+            ..ServeConfig::default()
+        },
+    );
     let total = clients * per_client;
     if warm {
         // Pre-embed every structure once so the measured pass is all hits.
@@ -302,7 +316,7 @@ fn main() {
     for &(clients, per_client) in plan {
         for warm in [false, true] {
             let label = format!("{}_c{clients}", if warm { "warm" } else { "cold" });
-            let s = run_scenario(&model, label, clients, per_client, warm);
+            let s = run_scenario(&model, label, clients, per_client, warm, None);
             println!(
                 "  {:<10} {:>3} client(s) × {:<3} reqs: {:>8.1} req/s, p50 {:>8.3} ms, \
                  p99 {:>8.3} ms ({} hits / {} misses)",
@@ -317,6 +331,37 @@ fn main() {
             );
             scenarios.push(s);
         }
+    }
+
+    // Resilience-off overhead: the warm c8 scenario again, but with the
+    // deadline machinery engaged (a generous per-request budget nothing
+    // trips) while fault injection stays disarmed. The panic-isolation
+    // `catch_unwind` wraps every batch in both runs, so the headline
+    // `resilience_off_speedup` prices the whole fault-tolerance layer's
+    // steady-state cost — it must sit at ~1.0x.
+    {
+        let (clients, per_client) = if smoke { (8, 1) } else { (8, 16) };
+        let s = run_scenario(
+            &model,
+            "warm_c8_deadline".into(),
+            clients,
+            per_client,
+            true,
+            Some(Duration::from_secs(30)),
+        );
+        println!(
+            "  {:<14} {:>3} client(s) × {:<3} reqs: {:>8.1} req/s, p50 {:>8.3} ms, \
+             p99 {:>8.3} ms ({} hits / {} misses)",
+            s.name,
+            s.clients,
+            per_client,
+            s.reqs_per_s,
+            s.p50_ms,
+            s.p99_ms,
+            s.cache_hits,
+            s.cache_misses,
+        );
+        scenarios.push(s);
     }
 
     // Socket scenarios: the same c8 load through the loopback TCP
@@ -361,10 +406,12 @@ fn main() {
     let batched_vs_sequential = rps("cold_c8") / seq_rps;
     let warm_speedup = rps("warm_c8") / rps("cold_c8");
     let socket_vs_inprocess = rps("socket_cold_c8") / rps("cold_c8");
+    let resilience_off = rps("warm_c8_deadline") / rps("warm_c8");
     println!("batched_vs_single_request_c8: {batched_vs_single:.2}x");
     println!("warm_speedup_c8: {warm_speedup:.2}x");
     println!("batched_vs_sequential_offline_c8: {batched_vs_sequential:.2}x");
     println!("socket_vs_inprocess_c8: {socket_vs_inprocess:.2}x");
+    println!("resilience_off_speedup: {resilience_off:.2}x");
 
     // Smoke runs write JSON only when CI (or a user) names an explicit
     // output path for a freshness diff against the committed baseline.
@@ -418,6 +465,9 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"socket_vs_inprocess_c8\": {socket_vs_inprocess:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"resilience_off_speedup\": {resilience_off:.3},\n"
     ));
     json.push_str(&format!("  \"warm_speedup_c8\": {warm_speedup:.3}\n"));
     json.push_str("}\n");

@@ -43,16 +43,46 @@ impl From<serde_json::Error> for CheckpointError {
     }
 }
 
-/// Saves a pre-trained model to a JSON checkpoint.
+/// Saves a pre-trained model to a JSON checkpoint, **atomically**.
+///
+/// The checkpoint is written to a temporary file in the *same directory*
+/// (rename across filesystems is not atomic), fsynced, and then renamed
+/// over `path`. A crash — or a serialization failure — at any point
+/// leaves either the complete old checkpoint or the complete new one on
+/// disk, never a torn file: a serving engine pointed at `path` can
+/// always [`load_checkpoint`] whatever is there.
 ///
 /// # Errors
 ///
-/// Returns [`CheckpointError`] on filesystem or serialization failure.
+/// Returns [`CheckpointError`] on filesystem or serialization failure;
+/// on failure the previous contents of `path` are untouched and the
+/// temporary file is removed.
 pub fn save_checkpoint(model: &NetTag, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let file = std::fs::File::create(path)?;
-    let writer = std::io::BufWriter::new(file);
-    serde_json::to_writer(writer, model)?;
-    Ok(())
+    use std::io::Write;
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    // Name the temp file after the target (plus pid for concurrent
+    // savers) so it lands on the same filesystem and is identifiable.
+    let tmp = {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(".tmp.{}", std::process::id()));
+        dir.unwrap_or_else(|| Path::new(".")).join(name)
+    };
+    let result = (|| -> Result<(), CheckpointError> {
+        let file = std::fs::File::create(&tmp)?;
+        let mut writer = std::io::BufWriter::new(file);
+        serde_json::to_writer(&mut writer, model)?;
+        writer.flush()?;
+        // Durability before visibility: the rename must not publish a
+        // file whose bytes are still in the page cache only.
+        writer.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Loads a model from a JSON checkpoint.
@@ -83,10 +113,12 @@ pub fn load_checkpoint_shared(path: impl AsRef<Path>) -> Result<Arc<NetTag>, Che
     // Canonicalize so `./ckpt.json` and an absolute spelling share.
     let path = path.as_ref();
     let key = std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf());
-    // Fast path: a live handle exists.
+    // Fast path: a live handle exists. A panicking loader can't leave
+    // the map torn (inserts are whole), so recover a poisoned guard
+    // rather than wedging every later load.
     if let Some(model) = registry
         .lock()
-        .expect("checkpoint registry poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .get(&key)
         .and_then(Weak::upgrade)
     {
@@ -96,7 +128,7 @@ pub fn load_checkpoint_shared(path: impl AsRef<Path>) -> Result<Arc<NetTag>, Che
     // may parse twice, but the first to publish wins and the loser's copy
     // is dropped — every caller still ends up on one shared buffer.
     let model = Arc::new(load_checkpoint(path)?);
-    let mut reg = registry.lock().expect("checkpoint registry poisoned");
+    let mut reg = registry.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(existing) = reg.get(&key).and_then(Weak::upgrade) {
         return Ok(existing);
     }
@@ -133,7 +165,7 @@ pub fn reload_checkpoint_shared(path: impl AsRef<Path>) -> Result<Arc<NetTag>, C
     let model = Arc::new(load_checkpoint(path)?);
     registry()
         .lock()
-        .expect("checkpoint registry poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .insert(key, Arc::downgrade(&model));
     Ok(model)
 }

@@ -64,6 +64,60 @@ fn corrupt_json_is_a_format_error() {
 }
 
 #[test]
+fn save_replaces_atomically_and_leaves_no_temp_files() {
+    let model = NetTag::new(NetTagConfig::tiny());
+    let path = tmp_path("atomic.json");
+    // Seed the path with a valid checkpoint, then overwrite it in place:
+    // at no point may the path hold a torn file, and the temp file the
+    // save staged through must be gone afterwards.
+    save_checkpoint(&model, &path).expect("seed save");
+    save_checkpoint(&model, &path).expect("overwrite save");
+    let loaded = load_checkpoint(&path).expect("overwritten checkpoint parses");
+    assert_eq!(
+        model.exprllm.proj.w.value.data,
+        loaded.exprllm.proj.w.value.data
+    );
+    let dir = path.parent().expect("tmp dir");
+    let leftovers: Vec<_> = std::fs::read_dir(dir)
+        .expect("scan dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("atomic.json.tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "staging files left behind: {leftovers:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn failed_save_keeps_the_previous_checkpoint_intact() {
+    let model = NetTag::new(NetTagConfig::tiny());
+    let path = tmp_path("torn_write_guard.json");
+    save_checkpoint(&model, &path).expect("seed save");
+    let before = std::fs::read(&path).expect("read seed");
+    // Simulate the crash-adjacent failure mode: the staging temp file
+    // cannot be created (its name is occupied by a directory), so the
+    // save fails *before* the rename. The published checkpoint must be
+    // byte-identical to what was there — a reader never observes a torn
+    // or half-written file.
+    let tmp_name = format!("torn_write_guard.json.tmp.{}", std::process::id());
+    let blocker = path.parent().expect("dir").join(&tmp_name);
+    std::fs::create_dir_all(&blocker).expect("occupy temp path");
+    let err = save_checkpoint(&model, &path).expect_err("save must fail");
+    assert!(matches!(err, CheckpointError::Io(_)), "got: {err}");
+    let after = std::fs::read(&path).expect("read back");
+    assert_eq!(
+        before, after,
+        "a failed save must leave the previous checkpoint byte-identical"
+    );
+    load_checkpoint(&path).expect("previous checkpoint still parses");
+    std::fs::remove_dir(&blocker).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn missing_file_is_an_io_error() {
     let err = load_checkpoint_shared(tmp_path("never_written.json")).expect_err("must fail");
     assert!(matches!(err, CheckpointError::Io(_)));

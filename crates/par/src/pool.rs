@@ -62,7 +62,7 @@ impl Job {
             // on `pending`, so the final decrementer — and, through the
             // latch mutex, the caller — observes every task's effects.
             if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let mut done = self.done.lock().expect("latch poisoned");
+                let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
                 *done = true;
                 self.done_cv.notify_all();
             }
@@ -71,9 +71,9 @@ impl Job {
 
     /// Blocks until every task has completed.
     fn wait(&self) {
-        let mut done = self.done.lock().expect("latch poisoned");
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
         while !*done {
-            done = self.done_cv.wait(done).expect("latch poisoned");
+            done = self.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -111,12 +111,12 @@ fn pool() -> Option<&'static Shared> {
 fn worker_loop(shared: &'static Shared) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(job) = q.pop_front() {
                     break job;
                 }
-                q = shared.available.wait(q).expect("pool queue poisoned");
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
         job.run_tasks();
@@ -168,7 +168,7 @@ pub(crate) fn run(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
         // One queue entry per worker we want on this job; surplus entries
         // are drained as cheap no-ops once the cursor is exhausted.
         let helpers = (tasks - 1).min(super::num_threads() - 1);
-        let mut q = shared.queue.lock().expect("pool queue poisoned");
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         for _ in 0..helpers {
             q.push_back(job.clone());
         }

@@ -63,7 +63,11 @@ impl<T> BoundedQueue<T> {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
-        self.inner.lock().expect("bounded queue poisoned")
+        // A panicking producer/consumer must not wedge the queue for every
+        // other thread: the guarded state (a VecDeque + a flag) is valid
+        // after any partial operation, so recover the guard instead of
+        // propagating the poison.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Enqueues without blocking; a full or closed queue refuses the item.
@@ -107,7 +111,10 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return Pop::Closed;
             }
-            inner = self.not_empty.wait(inner).expect("bounded queue poisoned");
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -129,7 +136,7 @@ impl<T> BoundedQueue<T> {
             let (guard, _) = self
                 .not_empty
                 .wait_timeout(inner, deadline - now)
-                .expect("bounded queue poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             inner = guard;
         }
     }

@@ -66,7 +66,10 @@ impl ConeCache {
     /// different generation was computed under a swapped-out checkpoint:
     /// it is evicted on the spot and reported as a miss.
     pub fn get(&self, key: u128, generation: u64) -> Option<Arc<Tensor>> {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        // A batch that panicked mid-insert leaves the shard in a valid
+        // state (entries are whole or absent), so recover the guard
+        // instead of propagating the poison to every later lookup.
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
         match shard.map.get(&key) {
             Some(e) if e.generation == generation => Some(Arc::clone(&e.value)),
             Some(_) => {
@@ -88,7 +91,7 @@ impl ConeCache {
         if self.per_shard == 0 {
             return;
         }
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
         if shard.map.insert(key, Entry { generation, value }).is_none() {
             shard.order.push_back(key);
             if shard.order.len() > self.per_shard {
@@ -105,7 +108,7 @@ impl ConeCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
             .sum()
     }
 

@@ -23,6 +23,19 @@
 //! with strangers, or hit the cache (pinned by the `serve` integration
 //! tests).
 //!
+//! **Fault tolerance.** Batch execution runs inside `catch_unwind`: a
+//! panic anywhere in planning or compute resolves
+//! [`ServeError::Internal`] for the batch's unanswered waiters while the
+//! lane thread survives and keeps draining — one poisoned request never
+//! strands the queue behind it. Every lock the serving path shares with
+//! a potentially panicking batch recovers the guard
+//! (`unwrap_or_else(|e| e.into_inner())`) instead of propagating the
+//! poison: the guarded states (weights pointer + generation, cache
+//! shards, counters) are valid after any partial batch. Requests carry
+//! an optional **deadline**: one still queued when it lapses is pruned
+//! from its batch without being encoded and resolves
+//! [`ServeError::DeadlineExceeded`].
+//!
 //! The model itself can be **hot-swapped** ([`Engine::swap_checkpoint`] /
 //! [`Engine::swap_model`]): the swap atomically installs the new weights
 //! and bumps the cache generation, so embeddings computed under the old
@@ -31,6 +44,7 @@
 //! finish under it — their responses raced the swap either way.
 
 use crate::cache::ConeCache;
+use crate::faults::{FaultKind, FaultState};
 use crate::{ServeConfig, ServeError};
 use nettag_core::{load_checkpoint_shared, reload_checkpoint_shared, ClassifierHead, NetTag};
 use nettag_expr::token::{tokenize_expr, TokenId, Vocab};
@@ -42,26 +56,18 @@ use nettag_netlist::{
 use nettag_nn::Tensor;
 use nettag_par::queue::{BoundedQueue, Pop, TryPushError};
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Counters the engine updates as it serves (all monotone).
-#[derive(Debug, Default)]
-struct Counters {
-    requests: AtomicU64,
-    batches: AtomicU64,
-    max_batch: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    dedup_hits: AtomicU64,
-    shed: AtomicU64,
-}
-
-/// A point-in-time snapshot of serving counters.
+/// A point-in-time snapshot of serving counters. All counters are
+/// monotone and updated **coherently**: the engine accumulates per batch
+/// and commits under one lock, and [`Engine::stats`] reads the whole
+/// struct under that lock — a snapshot never mixes counter values from
+/// two moments (e.g. a shed already counted whose request total isn't).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests accepted into a lane queue.
@@ -80,6 +86,16 @@ pub struct ServeStats {
     /// Requests refused with [`ServeError::Overloaded`] because their
     /// lane queue was full (backpressure / load shedding).
     pub shed: u64,
+    /// Requests pruned from a batch because their deadline lapsed
+    /// before encoding ([`ServeError::DeadlineExceeded`]).
+    pub deadline_expired: u64,
+    /// In-process [`Client`] calls that stopped waiting when their
+    /// deadline lapsed (the batch may still have computed the value —
+    /// it stays cached either way).
+    pub timeouts: u64,
+    /// Batch executions that panicked and were isolated: the waiters
+    /// resolved [`ServeError::Internal`] and the lane kept draining.
+    pub panics_recovered: u64,
 }
 
 /// An un-routed request as the caller states it.
@@ -138,6 +154,10 @@ pub(crate) enum Response {
     Embedding(Arc<Tensor>),
     /// A class index from the classifier head.
     Class(usize),
+    /// A ping answer carrying the current model generation. Produced
+    /// only by the network front-end's reader (pings never enter a
+    /// lane), never by batch execution.
+    Pong(u64),
 }
 
 /// Where a request's answer goes: an in-process oneshot channel, or a
@@ -168,6 +188,8 @@ impl ReplyTo {
 
 struct Request {
     kind: RequestKind,
+    /// Answer-by time; a request still queued past it is pruned.
+    deadline: Option<Instant>,
     reply: ReplyTo,
 }
 
@@ -187,8 +209,17 @@ struct Shared {
     lib: Library,
     vocab: Vocab,
     cache: ConeCache,
-    stats: Counters,
+    stats: Mutex<ServeStats>,
+    faults: Option<Arc<FaultState>>,
     cfg: ServeConfig,
+}
+
+impl Shared {
+    /// The one coherent counter snapshot, recovered through poison: the
+    /// counters are valid after any partial batch.
+    fn stats(&self) -> MutexGuard<'_, ServeStats> {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 type Lanes = Arc<[Arc<BoundedQueue<Request>>]>;
@@ -208,6 +239,8 @@ pub struct Engine {
 pub struct Client {
     shared: Arc<Shared>,
     lanes: Lanes,
+    /// Per-request deadline budget; `None` waits indefinitely.
+    timeout: Option<Duration>,
 }
 
 impl Engine {
@@ -253,6 +286,15 @@ impl Engine {
         } else {
             cfg.lanes
         };
+        // Builder plan wins; an empty one defers to `NETTAG_FAULTS`.
+        // Engines with an empty effective plan carry no fault state at
+        // all — the injection sites reduce to one `is_some` branch.
+        let plan = if cfg.faults.enabled() {
+            cfg.faults
+        } else {
+            crate::faults::Faults::from_env()
+        };
+        let faults = plan.enabled().then(|| Arc::new(FaultState::new(plan)));
         let shared = Arc::new(Shared {
             state: RwLock::new(ModelState {
                 model,
@@ -263,7 +305,8 @@ impl Engine {
             lib: Library::default(),
             vocab: NetTag::vocab(),
             cache: ConeCache::new(cfg.cache_capacity),
-            stats: Counters::default(),
+            stats: Mutex::new(ServeStats::default()),
+            faults,
             cfg,
         });
         let lanes: Lanes = (0..lane_count)
@@ -295,21 +338,13 @@ impl Engine {
         Client {
             shared: Arc::clone(&self.shared),
             lanes: Arc::clone(&self.lanes),
+            timeout: self.shared.cfg.request_timeout,
         }
     }
 
-    /// Snapshot of the serving counters.
+    /// Snapshot of the serving counters (one coherent struct read).
     pub fn stats(&self) -> ServeStats {
-        let c = &self.shared.stats;
-        ServeStats {
-            requests: c.requests.load(Ordering::SeqCst),
-            batches: c.batches.load(Ordering::SeqCst),
-            max_batch: c.max_batch.load(Ordering::SeqCst),
-            cache_hits: c.cache_hits.load(Ordering::SeqCst),
-            cache_misses: c.cache_misses.load(Ordering::SeqCst),
-            dedup_hits: c.dedup_hits.load(Ordering::SeqCst),
-            shed: c.shed.load(Ordering::SeqCst),
-        }
+        *self.shared.stats()
     }
 
     /// Number of cone embeddings currently cached (stale generations
@@ -328,7 +363,7 @@ impl Engine {
         self.shared
             .state
             .read()
-            .expect("model state poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .generation
     }
 
@@ -340,7 +375,7 @@ impl Engine {
     /// head is kept; swapping in a model with a different embedding
     /// dimension while serving `predict` is a caller error.
     pub fn swap_model(&self, model: Arc<NetTag>) {
-        let mut st = self.shared.state.write().expect("model state poisoned");
+        let mut st = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
         st.model = model;
         st.generation += 1;
     }
@@ -368,7 +403,7 @@ impl Engine {
         for lane in self.lanes.iter() {
             lane.close();
         }
-        let workers = std::mem::take(&mut *self.workers.lock().expect("engine workers poisoned"));
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
         for worker in workers {
             let _ = worker.join();
         }
@@ -402,6 +437,33 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 impl Client {
+    /// Returns a client whose calls carry a per-request deadline of
+    /// `timeout` from submission (`None` waits indefinitely). Calls
+    /// unanswered at the deadline resolve
+    /// [`ServeError::DeadlineExceeded`]; calls still queued at the
+    /// deadline are additionally pruned server-side without being
+    /// encoded.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Current model generation — what a wire `ping` answers with.
+    pub(crate) fn generation(&self) -> u64 {
+        self.shared
+            .state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .generation
+    }
+
+    /// The engine's armed fault state, for the network front-end's
+    /// frame-level injection sites. `None` when faults are off.
+    pub(crate) fn fault_state(&self) -> Option<Arc<FaultState>> {
+        self.shared.faults.clone()
+    }
+
     /// Embeds a netlist (typically one register cone extracted with
     /// [`nettag_netlist::cone_to_netlist`]) into its graph-level `[CLS]`
     /// embedding — `1 × embed_dim`, bitwise identical to
@@ -417,7 +479,9 @@ impl Client {
     ///
     /// [`ServeError::Invalid`] when `phys` has the wrong length;
     /// [`ServeError::Overloaded`] when the request's lane queue is full;
-    /// [`ServeError::Closed`] when the engine has shut down.
+    /// [`ServeError::DeadlineExceeded`] when a configured timeout lapses
+    /// first; [`ServeError::Internal`] when the request's batch
+    /// panicked; [`ServeError::Closed`] when the engine has shut down.
     pub fn embed_cone(
         &self,
         netlist: Netlist,
@@ -429,7 +493,7 @@ impl Client {
             predict: false,
         })? {
             Response::Embedding(e) => Ok(e),
-            Response::Class(_) => unreachable!("embed request answered with a class"),
+            _ => unreachable!("embed request answered with a non-embedding"),
         }
     }
 
@@ -462,7 +526,7 @@ impl Client {
     ) -> Result<Arc<Tensor>, ServeError> {
         match self.call(RawRequest::ConeFused { netlist, phys })? {
             Response::Embedding(e) => Ok(e),
-            Response::Class(_) => unreachable!("embed request answered with a class"),
+            _ => unreachable!("embed request answered with a non-embedding"),
         }
     }
 
@@ -474,14 +538,13 @@ impl Client {
     /// # Errors
     ///
     /// [`ServeError::Invalid`] when the expression does not parse;
-    /// [`ServeError::Overloaded`] when the request's lane queue is full;
-    /// [`ServeError::Closed`] when the engine has shut down.
+    /// otherwise as [`Client::embed_cone`].
     pub fn embed_expr(&self, expr: &str) -> Result<Arc<Tensor>, ServeError> {
         match self.call(RawRequest::Expr {
             text: expr.to_string(),
         })? {
             Response::Embedding(e) => Ok(e),
-            Response::Class(_) => unreachable!("embed request answered with a class"),
+            _ => unreachable!("embed request answered with a non-embedding"),
         }
     }
 
@@ -502,7 +565,7 @@ impl Client {
             predict: true,
         })? {
             Response::Class(c) => Ok(c),
-            Response::Embedding(_) => unreachable!("predict request answered with an embedding"),
+            _ => unreachable!("predict request answered with a non-class"),
         }
     }
 
@@ -585,16 +648,21 @@ impl Client {
     pub(crate) fn submit(
         &self,
         raw: RawRequest,
+        deadline: Option<Instant>,
         reply: ReplyTo,
     ) -> Result<(), (ReplyTo, ServeError)> {
         let (lane, kind) = match self.route(raw) {
             Ok(v) => v,
             Err(e) => return Err((reply, e)),
         };
-        match self.lanes[lane].try_push(Request { kind, reply }) {
+        match self.lanes[lane].try_push(Request {
+            kind,
+            deadline,
+            reply,
+        }) {
             Ok(()) => Ok(()),
             Err(TryPushError::Full(req)) => {
-                self.shared.stats.shed.fetch_add(1, Ordering::SeqCst);
+                self.shared.stats().shed += 1;
                 Err((req.reply, ServeError::Overloaded))
             }
             Err(TryPushError::Closed(req)) => Err((req.reply, ServeError::Closed)),
@@ -602,14 +670,23 @@ impl Client {
     }
 
     fn call(&self, raw: RawRequest) -> Result<Response, ServeError> {
+        let deadline = self.timeout.map(|t| Instant::now() + t);
         let (reply, rx) = channel();
-        match self.submit(raw, ReplyTo::Oneshot(reply)) {
-            Ok(()) => {
-                // If the batcher exits before answering, the queued request
-                // (and with it our reply sender) is dropped and recv
-                // reports Closed.
-                rx.recv().map_err(|_| ServeError::Closed)?
-            }
+        match self.submit(raw, deadline, ReplyTo::Oneshot(reply)) {
+            Ok(()) => match deadline {
+                // If the batcher exits before answering, the queued
+                // request (and with it our reply sender) is dropped and
+                // recv reports Closed.
+                None => rx.recv().map_err(|_| ServeError::Closed)?,
+                Some(d) => match rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+                    Ok(result) => result,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.shared.stats().timeouts += 1;
+                        Err(ServeError::DeadlineExceeded)
+                    }
+                    Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+                },
+            },
             Err((_reply, e)) => Err(e),
         }
     }
@@ -656,14 +733,12 @@ fn batcher(shared: &Shared, queue: &BoundedQueue<Request>) {
                 Pop::Closed | Pop::Empty => break,
             }
         }
-        let stats = &shared.stats;
-        stats
-            .requests
-            .fetch_add(batch.len() as u64, Ordering::SeqCst);
-        stats.batches.fetch_add(1, Ordering::SeqCst);
-        stats
-            .max_batch
-            .fetch_max(batch.len() as u64, Ordering::SeqCst);
+        {
+            let mut stats = shared.stats();
+            stats.requests += batch.len() as u64;
+            stats.batches += 1;
+            stats.max_batch = stats.max_batch.max(batch.len() as u64);
+        }
         process_batch(shared, batch);
     }
 }
@@ -680,18 +755,84 @@ enum Plan {
     ExprRow { row: usize },
 }
 
+/// Batch-local counter accumulation, committed under one stats lock once
+/// the batch has computed, before its replies go out (a batch that
+/// panics mid-compute forfeits its tally — counters are diagnostics, not
+/// ledgers).
+#[derive(Default)]
+struct Tally {
+    cache_hits: u64,
+    cache_misses: u64,
+    dedup_hits: u64,
+    deadline_expired: u64,
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic-isolated batch execution: `run_batch` does the real work; a
+/// panic anywhere inside it resolves [`ServeError::Internal`] for every
+/// waiter it had not yet answered, and the lane thread lives on. The
+/// shared state `run_batch` touches survives a mid-flight abort: the
+/// cache inserts whole entries under a shard lock that recovers from
+/// poison, the counters are committed atomically at the end, and the
+/// model state is only read.
 fn process_batch(shared: &Shared, batch: Vec<Request>) {
+    let mut items: Vec<(RequestKind, Option<Instant>)> = Vec::with_capacity(batch.len());
+    let mut replies: Vec<Option<ReplyTo>> = Vec::with_capacity(batch.len());
+    for req in batch {
+        items.push((req.kind, req.deadline));
+        replies.push(Some(req.reply));
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_batch(shared, items, &mut replies)));
+    if let Err(payload) = outcome {
+        let msg = panic_message(payload.as_ref());
+        for slot in &mut replies {
+            if let Some(reply) = slot.take() {
+                reply.send(Err(ServeError::Internal(msg.clone())));
+            }
+        }
+        shared.stats().panics_recovered += 1;
+    }
+}
+
+fn run_batch(
+    shared: &Shared,
+    items: Vec<(RequestKind, Option<Instant>)>,
+    replies: &mut [Option<ReplyTo>],
+) {
+    // Fault hooks, inside the isolated region: an injected delay pushes
+    // queued requests past their deadlines (exercising the pruning
+    // below); an injected panic exercises the isolation itself.
+    if let Some(faults) = &shared.faults {
+        if faults.fire(FaultKind::Delay) {
+            std::thread::sleep(Duration::from_millis(faults.plan().delay_ms));
+        }
+        if faults.fire(FaultKind::Panic) {
+            panic!("injected fault: lane panic at batch boundary");
+        }
+    }
+    let mut tally = Tally::default();
     // Snapshot the weights and cache generation together: a batch either
     // runs entirely under the pre-swap model (and reads/writes pre-swap
     // cache entries) or entirely under the post-swap one.
     let (model, generation) = {
-        let st = shared.state.read().expect("model state poisoned");
+        let st = shared.state.read().unwrap_or_else(|e| e.into_inner());
         (Arc::clone(&st.model), st.generation)
     };
     let opts = model.tag_options();
     let embed_dim = model.config.embed_dim;
-    // Planning pass: consult the cache, dedup within the batch, and
-    // collect every token sequence the batch needs.
+    // Planning pass: prune expired requests, consult the cache, dedup
+    // within the batch, and collect every token sequence the batch
+    // needs.
     let mut union: Vec<Vec<TokenId>> = Vec::new();
     // (key, tag, row offset of this cone's tokens in `union`).
     let mut compute: Vec<(u128, Tag, usize)> = Vec::new();
@@ -701,8 +842,8 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
     let mut fused_compute: Vec<(u128, Netlist, Vec<PhysProps>)> = Vec::new();
     let mut scheduled_fused: HashSet<u128> = HashSet::new();
     let mut cls_from_cache: HashMap<u128, Arc<Tensor>> = HashMap::new();
-    let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
-    let mut replies: Vec<ReplyTo> = Vec::with_capacity(batch.len());
+    // (request index, what it waits for).
+    let mut plans: Vec<(usize, Plan)> = Vec::with_capacity(items.len());
     // Schedules the plain `[CLS]` compute for `key` unless this batch
     // already has it.
     let schedule_cls = |key: u128,
@@ -726,9 +867,18 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
         };
         compute.push((key, tag, offset));
     };
-    for req in batch {
-        replies.push(req.reply);
-        let plan = match req.kind {
+    let now = Instant::now();
+    for (idx, (kind, deadline)) in items.into_iter().enumerate() {
+        if deadline.is_some_and(|d| now >= d) {
+            // Expired while queued: resolve without spending encode
+            // time on an answer nobody is waiting for.
+            tally.deadline_expired += 1;
+            if let Some(reply) = replies[idx].take() {
+                reply.send(Err(ServeError::DeadlineExceeded));
+            }
+            continue;
+        }
+        let plan = match kind {
             RequestKind::Cone {
                 netlist,
                 props,
@@ -736,13 +886,13 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
                 predict,
             } => {
                 if let Some(emb) = shared.cache.get(key, generation) {
-                    shared.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
+                    tally.cache_hits += 1;
                     Plan::Ready { emb, predict }
                 } else {
                     if scheduled.contains(&key) {
-                        shared.stats.dedup_hits.fetch_add(1, Ordering::SeqCst);
+                        tally.dedup_hits += 1;
                     } else {
-                        shared.stats.cache_misses.fetch_add(1, Ordering::SeqCst);
+                        tally.cache_misses += 1;
                         schedule_cls(
                             key,
                             &netlist,
@@ -763,14 +913,14 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
                 // Fused entries live under the salted digest; the plain
                 // digest keys the shared `[CLS]` compute.
                 if let Some(emb) = shared.cache.get(key ^ FUSED_SALT, generation) {
-                    shared.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
+                    tally.cache_hits += 1;
                     Plan::Ready {
                         emb,
                         predict: false,
                     }
                 } else {
                     if scheduled_fused.insert(key) {
-                        shared.stats.cache_misses.fetch_add(1, Ordering::SeqCst);
+                        tally.cache_misses += 1;
                         if !scheduled.contains(&key) {
                             if let Some(cls) = shared.cache.get(key, generation) {
                                 cls_from_cache.insert(key, cls);
@@ -787,7 +937,7 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
                         }
                         fused_compute.push((key, netlist, props));
                     } else {
-                        shared.stats.dedup_hits.fetch_add(1, Ordering::SeqCst);
+                        tally.dedup_hits += 1;
                     }
                     Plan::WaitFused { key }
                 }
@@ -800,7 +950,7 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
                 }
             }
         };
-        plans.push(plan);
+        plans.push((idx, plan));
     }
     // One batched ExprLLM forward over every token sequence the batch
     // needs (all missing cones' gates + all standalone expressions) —
@@ -851,8 +1001,18 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
             computed_fused.insert(key, emb);
         }
     }
+    // Commit the batch's counters in one coherent write — *before* any
+    // reply goes out, so a caller that observes its answer also observes
+    // the accounting for the batch that produced it.
+    {
+        let mut stats = shared.stats();
+        stats.cache_hits += tally.cache_hits;
+        stats.cache_misses += tally.cache_misses;
+        stats.dedup_hits += tally.dedup_hits;
+        stats.deadline_expired += tally.deadline_expired;
+    }
     // Response pass. A dropped client just discards its reply.
-    for (plan, reply) in plans.into_iter().zip(replies) {
+    for (idx, plan) in plans {
         let result = match plan {
             Plan::Ready { emb, predict } => respond_cone(shared, emb, predict),
             Plan::Wait { key, predict } => {
@@ -874,7 +1034,9 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
                 ))))
             }
         };
-        reply.send(result);
+        if let Some(reply) = replies[idx].take() {
+            reply.send(result);
+        }
     }
 }
 

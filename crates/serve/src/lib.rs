@@ -36,11 +36,45 @@
 //! * **Shared checkpoints** — [`Engine::from_checkpoint`] loads through
 //!   [`nettag_core::load_checkpoint_shared`]: any number of engines and
 //!   readers pointed at one file share a single weight buffer.
+//! * **Fault tolerance** — batch execution is panic-isolated
+//!   (`catch_unwind` per batch: a panicking request resolves
+//!   [`ServeError::Internal`] for its batch's waiters while the lane
+//!   thread survives and keeps draining), requests carry optional
+//!   deadlines end to end (expired requests resolve
+//!   [`ServeError::DeadlineExceeded`] without being encoded),
+//!   [`NetClient`] can retry `Overloaded`/connection faults with
+//!   jittered exponential backoff, and the whole failure surface is
+//!   exercised by the deterministic [`faults`] injection harness.
 //!
 //! Responses are bitwise identical to the offline API
 //! ([`nettag_core::NetTag::embed_tag`] /
 //! [`nettag_core::ExprLlm::encode`]) regardless of batch composition,
 //! cache state, lane assignment, transport, or thread count.
+//!
+//! ## Error contract per opcode
+//!
+//! Every accepted request resolves — with a reply or exactly one typed
+//! error; nothing hangs. Per wire opcode (the in-process [`Client`]
+//! methods follow the same contract):
+//!
+//! | opcode             | success     | typed errors                     |
+//! |--------------------|-------------|----------------------------------|
+//! | `embed_cone` (0)   | `Embedding` | `Invalid` (bad netlist / phys length), `Overloaded`, `DeadlineExceeded`, `Internal`, `Closed` |
+//! | `embed_expr` (1)   | `Embedding` | `Invalid` (parse failure), `Overloaded`, `DeadlineExceeded`, `Internal`, `Closed` |
+//! | `predict` (2)      | `Class`     | as `embed_cone`, plus `NoClassifier` when the engine has no head |
+//! | `ping` (3)         | `Pong`      | none — answered by the reader itself, so it health-checks a server whose lanes are saturated |
+//!
+//! `Invalid` and `NoClassifier` are **request** errors: the connection
+//! lives on and other in-flight frames are unaffected. `Overloaded` is a
+//! **load** error: the frame was shed before entering a lane, retry with
+//! backoff ([`RetryPolicy`]). `DeadlineExceeded` means the request's own
+//! deadline lapsed before its batch encoded it. `Internal` means a panic
+//! was caught while the request's batch executed: the lane recovered, the
+//! engine keeps serving, and the next identical request recomputes
+//! cleanly. `Closed` is terminal for the engine. A malformed *frame* (as
+//! opposed to a malformed netlist inside a well-formed frame) is a
+//! protocol violation and severs the connection; [`NetClient`] surfaces
+//! that as [`ServeError::Transport`].
 //!
 //! ```no_run
 //! use nettag_core::{NetTag, NetTagConfig};
@@ -63,12 +97,14 @@
 
 mod cache;
 mod engine;
+pub mod faults;
 mod net;
 pub mod proto;
 
 pub use cache::ConeCache;
 pub use engine::{Client, Engine, ServeStats};
-pub use net::{NetClient, NetServer};
+pub use faults::{FaultRule, Faults};
+pub use net::{NetClient, NetConfig, NetServer, RetryPolicy, RetryStats};
 
 use nettag_core::CheckpointError;
 use std::fmt;
@@ -99,6 +135,17 @@ pub struct ServeConfig {
     /// submissions fail fast with [`ServeError::Overloaded`] — the
     /// engine sheds load instead of growing an unbounded backlog.
     pub queue_depth: usize,
+    /// Default per-request deadline for in-process [`Client`]s (`None`
+    /// disables). A request unanswered when its deadline lapses resolves
+    /// [`ServeError::DeadlineExceeded`]; a request still queued at its
+    /// deadline is dropped from the batch without being encoded.
+    /// Override per client with [`Client::with_timeout`].
+    pub request_timeout: Option<Duration>,
+    /// Fault-injection plan (see [`faults`]). The default empty plan is
+    /// zero-cost; a non-empty plan (or the `NETTAG_FAULTS` environment
+    /// variable, which applies when this field is empty) arms the
+    /// deterministic injection harness.
+    pub faults: Faults,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +157,8 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             lanes: 0,
             queue_depth: 256,
+            request_timeout: None,
+            faults: Faults::none(),
         }
     }
 }
@@ -132,6 +181,14 @@ pub enum ServeError {
     /// The request's lane queue was full: the engine shed this request
     /// to protect the work it already accepted. Retry with backoff.
     Overloaded,
+    /// The request's deadline lapsed before it was answered. A request
+    /// still queued at its deadline is pruned without being encoded.
+    DeadlineExceeded,
+    /// A panic was caught while this request's batch executed. The lane
+    /// recovered and the engine keeps serving; the payload message is
+    /// carried for diagnosis. Safe to retry — nothing partial was
+    /// cached.
+    Internal(String),
     /// A socket-transport failure between a [`NetClient`] and the
     /// server (connection refused/reset, protocol violation, …).
     Transport(String),
@@ -146,6 +203,10 @@ impl fmt::Display for ServeError {
             ServeError::NoFusion => write!(f, "engine has no geometry fusion model"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             ServeError::Overloaded => write!(f, "engine overloaded: request shed, retry later"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request was answered")
+            }
+            ServeError::Internal(msg) => write!(f, "internal: batch execution panicked: {msg}"),
             ServeError::Transport(msg) => write!(f, "transport: {msg}"),
         }
     }

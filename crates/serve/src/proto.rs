@@ -18,16 +18,20 @@
 //! Every subsequent message (both directions) is one frame: a `u32` LE
 //! payload length (capped at [`MAX_FRAME`]) followed by the payload.
 //!
-//! Request payload:
+//! Request payload (protocol version 2):
 //!
 //! ```text
-//! id: u64 | opcode: u8 | body
+//! id: u64 | deadline_ms: u32 | opcode: u8 | body
 //! ```
 //!
-//! with opcodes `0 = embed_cone`, `1 = embed_expr`, `2 = predict`. Cone
-//! bodies carry the full netlist (name, gates with kind/size/fanin) plus
-//! optional per-gate physical attributes; expression bodies carry UTF-8
-//! source text.
+//! with opcodes `0 = embed_cone`, `1 = embed_expr`, `2 = predict`,
+//! `3 = ping`. Cone bodies carry the full netlist (name, gates with
+//! kind/size/fanin) plus optional per-gate physical attributes;
+//! expression bodies carry UTF-8 source text; ping has no body.
+//! `deadline_ms` is the request's remaining deadline budget in
+//! milliseconds (`0` = none): the server starts the clock on receipt,
+//! and a request still queued when it lapses resolves
+//! `DeadlineExceeded` without being encoded.
 //!
 //! Response payload:
 //!
@@ -36,10 +40,14 @@
 //! ```
 //!
 //! `status 0` is an embedding (`u32` column count + raw `f32` bits),
-//! `status 1` a class index (`u64`), anything else a typed error with a
-//! UTF-8 message. Responses are **tagged, not ordered**: the id echoes
-//! the request it answers, so a connection may pipeline requests and the
-//! server may answer out of submission order (lanes make that routine).
+//! `status 1` a class index (`u64`), `status 6` a pong carrying the
+//! server's current model generation (`u64`), anything else a typed
+//! error with a UTF-8 message (see [`ErrorCode`]). Responses are
+//! **tagged, not ordered**: the id echoes the request it answers, so a
+//! connection may pipeline requests and the server may answer out of
+//! submission order (lanes make that routine). Pings are answered by
+//! the connection reader itself — they never enter a lane, so they
+//! health-check a server whose lanes are saturated.
 
 use nettag_netlist::{GateId, Netlist, PhysProps, ALL_CELL_KINDS};
 use std::io::{self, Read, Write};
@@ -47,18 +55,24 @@ use std::io::{self, Read, Write};
 /// Connection magic: the first four bytes of every hello.
 pub const MAGIC: [u8; 4] = *b"NTAG";
 
-/// Protocol version spoken by this build.
-pub const VERSION: u16 = 1;
+/// Protocol version spoken by this build. Version 2 added the
+/// per-request `deadline_ms` field, the `ping` opcode, and the
+/// `Pong`/`DeadlineExceeded`/`Internal` response statuses.
+pub const VERSION: u16 = 2;
 
 /// Hard cap on a frame payload (64 MiB) — a malformed or hostile length
 /// prefix must not drive an allocation.
 pub const MAX_FRAME: u32 = 64 << 20;
 
-/// A request frame: a caller-chosen id and the operation.
+/// A request frame: a caller-chosen id, a deadline budget, and the
+/// operation.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Echoed verbatim in the matching [`Response`].
     pub id: u64,
+    /// Remaining deadline budget in milliseconds; `0` means none. The
+    /// server starts the clock when it reads the frame.
+    pub deadline_ms: u32,
     /// The requested operation.
     pub body: RequestBody,
 }
@@ -85,6 +99,9 @@ pub enum RequestBody {
         /// Optional per-gate physical attributes.
         phys: Option<Vec<PhysProps>>,
     },
+    /// Health check: answered with [`ResponseBody::Pong`] by the
+    /// connection reader itself, bypassing the lanes entirely.
+    Ping,
 }
 
 /// A response frame: the id it answers and the outcome.
@@ -103,6 +120,9 @@ pub enum ResponseBody {
     Embedding(Vec<f32>),
     /// A class index from the classifier head.
     Class(u64),
+    /// The answer to a [`RequestBody::Ping`]: the server's current
+    /// model generation.
+    Pong(u64),
     /// A typed serving error.
     Error {
         /// Which error.
@@ -124,6 +144,10 @@ pub enum ErrorCode {
     Overloaded,
     /// The engine is shut down.
     Closed,
+    /// The request's deadline lapsed before it was answered.
+    DeadlineExceeded,
+    /// The request's batch panicked; the lane recovered. Safe to retry.
+    Internal,
 }
 
 impl ErrorCode {
@@ -133,6 +157,8 @@ impl ErrorCode {
             ErrorCode::NoClassifier => 3,
             ErrorCode::Overloaded => 4,
             ErrorCode::Closed => 5,
+            ErrorCode::DeadlineExceeded => 7,
+            ErrorCode::Internal => 8,
         }
     }
 
@@ -142,6 +168,8 @@ impl ErrorCode {
             3 => Some(ErrorCode::NoClassifier),
             4 => Some(ErrorCode::Overloaded),
             5 => Some(ErrorCode::Closed),
+            7 => Some(ErrorCode::DeadlineExceeded),
+            8 => Some(ErrorCode::Internal),
             _ => None,
         }
     }
@@ -194,11 +222,24 @@ fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// Reads one length-prefixed frame; `None` on clean EOF at a frame
 /// boundary (the peer hung up between requests).
 fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    // EOF *before* the prefix is an orderly close (`None`); EOF *inside*
+    // it is a torn frame and must error — `read_exact` can't tell the
+    // two apart, so read the prefix byte-wise.
     let mut len = [0u8; 4];
-    match r.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_le_bytes(len);
     if len > MAX_FRAME {
@@ -258,6 +299,12 @@ impl<'a> Dec<'a> {
         let out = &self.buf[self.at..end];
         self.at = end;
         Ok(out)
+    }
+    /// Bytes left in the payload — the budget any count field must fit
+    /// in, so a hostile count can't drive an allocation the frame could
+    /// never back with data.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
     }
     fn u8(&mut self) -> io::Result<u8> {
         Ok(self.take(1)?[0])
@@ -330,6 +377,12 @@ fn decode_netlist(d: &mut Dec<'_>) -> io::Result<(Netlist, Option<Vec<PhysProps>
     if gates > 1 << 22 {
         return Err(bad("gate count over 4M"));
     }
+    // Every gate costs at least 17 encoded bytes (empty name: 4-byte
+    // length + kind + size + fanin count); refuse counts the remaining
+    // payload cannot possibly back before allocating anything for them.
+    if gates.saturating_mul(17) > d.remaining() {
+        return Err(bad("gate count exceeds frame payload"));
+    }
     let mut netlist = Netlist::new(name);
     for _ in 0..gates {
         let gname = d.str()?;
@@ -352,6 +405,10 @@ fn decode_netlist(d: &mut Dec<'_>) -> io::Result<(Netlist, Option<Vec<PhysProps>
     let phys = match d.u8()? {
         0 => None,
         1 => {
+            // 8 f64 fields per gate must fit in what's left.
+            if gates.saturating_mul(64) > d.remaining() {
+                return Err(bad("phys block exceeds frame payload"));
+            }
             let mut props = Vec::with_capacity(gates);
             for _ in 0..gates {
                 props.push(PhysProps {
@@ -380,6 +437,7 @@ fn decode_netlist(d: &mut Dec<'_>) -> io::Result<(Netlist, Option<Vec<PhysProps>
 pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
     let mut e = Enc::new();
     e.u64(req.id);
+    e.u32(req.deadline_ms);
     match &req.body {
         RequestBody::EmbedCone { netlist, phys } => {
             e.u8(0);
@@ -393,6 +451,7 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
             e.u8(2);
             encode_netlist(&mut e, netlist, phys.as_deref());
         }
+        RequestBody::Ping => e.u8(3),
     }
     write_frame(w, &e.buf)
 }
@@ -408,6 +467,7 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Option<Request>> {
     };
     let mut d = Dec::new(&payload);
     let id = d.u64()?;
+    let deadline_ms = d.u32()?;
     let opcode = d.u8()?;
     let body = match opcode {
         0 | 2 => {
@@ -419,10 +479,15 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Option<Request>> {
             }
         }
         1 => RequestBody::EmbedExpr { text: d.str()? },
+        3 => RequestBody::Ping,
         other => return Err(bad(format!("unknown opcode {other}"))),
     };
     d.finish()?;
-    Ok(Some(Request { id, body }))
+    Ok(Some(Request {
+        id,
+        deadline_ms,
+        body,
+    }))
 }
 
 /// Writes one response frame.
@@ -444,6 +509,10 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
         ResponseBody::Class(c) => {
             e.u8(1);
             e.u64(*c);
+        }
+        ResponseBody::Pong(generation) => {
+            e.u8(6);
+            e.u64(*generation);
         }
         ResponseBody::Error { code, message } => {
             e.u8(code.status());
@@ -471,6 +540,9 @@ pub fn read_response(r: &mut impl Read) -> io::Result<Option<Response>> {
             if cols > 1 << 20 {
                 return Err(bad("embedding over 1M columns"));
             }
+            if cols.saturating_mul(4) > d.remaining() {
+                return Err(bad("embedding exceeds frame payload"));
+            }
             let mut data = Vec::with_capacity(cols);
             for _ in 0..cols {
                 data.push(d.f32()?);
@@ -478,6 +550,7 @@ pub fn read_response(r: &mut impl Read) -> io::Result<Option<Response>> {
             ResponseBody::Embedding(data)
         }
         1 => ResponseBody::Class(d.u64()?),
+        6 => ResponseBody::Pong(d.u64()?),
         s => match ErrorCode::from_status(s) {
             Some(code) => ResponseBody::Error {
                 code,
@@ -542,6 +615,7 @@ mod tests {
         let phys = vec![PhysProps::default(); netlist.gate_count()];
         let req = Request {
             id: 42,
+            deadline_ms: 250,
             body: RequestBody::EmbedCone {
                 netlist: netlist.clone(),
                 phys: Some(phys),
@@ -549,6 +623,7 @@ mod tests {
         };
         let back = roundtrip_request(&req);
         assert_eq!(back.id, 42);
+        assert_eq!(back.deadline_ms, 250, "deadline budget travels");
         let RequestBody::EmbedCone {
             netlist: n2,
             phys: p2,
@@ -571,6 +646,7 @@ mod tests {
     fn expr_and_predict_requests_roundtrip() {
         let req = Request {
             id: 7,
+            deadline_ms: 0,
             body: RequestBody::EmbedExpr {
                 text: "!((R1 ^ R2) | !R2)".into(),
             },
@@ -583,6 +659,7 @@ mod tests {
         assert_eq!(text, "!((R1 ^ R2) | !R2)");
         let req = Request {
             id: u64::MAX,
+            deadline_ms: u32::MAX,
             body: RequestBody::Predict {
                 netlist: sample_netlist(),
                 phys: None,
@@ -631,6 +708,7 @@ mod tests {
             &mut buf,
             &Request {
                 id: 1,
+                deadline_ms: 0,
                 body: RequestBody::EmbedExpr { text: "a&b".into() },
             },
         )
@@ -643,6 +721,7 @@ mod tests {
         // Unknown opcode.
         let mut payload = Vec::new();
         payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
         payload.push(99);
         let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
         framed.extend_from_slice(&payload);

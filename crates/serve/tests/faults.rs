@@ -1,0 +1,286 @@
+//! Fault-injection suite: with the deterministic harness armed, every
+//! accepted request still resolves — with its answer or exactly one
+//! typed error, within its deadline — and once the plan's faults are
+//! exhausted the engine serves embeddings bitwise equal to the offline
+//! API. Deterministic at `RAYON_NUM_THREADS=1` and `=4` (fault plans are
+//! seeded and limit-bounded; nothing depends on thread interleaving).
+
+use nettag_core::{NetTag, NetTagConfig};
+use nettag_netlist::{CellKind, Library, Netlist, Tag};
+use nettag_serve::{
+    Engine, FaultRule, Faults, NetClient, NetServer, RetryPolicy, ServeConfig, ServeError,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A small single-cone netlist; `salt` varies the structure.
+fn cone(salt: usize) -> Netlist {
+    let mut n = Netlist::new("cone");
+    let a = n.add_gate("a", CellKind::Input, vec![]);
+    let b = n.add_gate("b", CellKind::Input, vec![]);
+    let x = n.add_gate("x", CellKind::Xor2, vec![a, b]);
+    let mut prev = x;
+    for i in 0..salt % 5 {
+        prev = n.add_gate(format!("s{i}"), CellKind::Inv, vec![prev]);
+    }
+    let g = if salt.is_multiple_of(2) {
+        n.add_gate("g", CellKind::Nand2, vec![prev, a])
+    } else {
+        n.add_gate("g", CellKind::Nor2, vec![prev, b])
+    };
+    n.add_gate("y", CellKind::Output, vec![g]);
+    n.validate().expect("valid")
+}
+
+fn offline_cls(model: &NetTag, n: &Netlist) -> Vec<f32> {
+    let lib = Library::default();
+    let tag = Tag::from_netlist(n, &lib, &model.tag_options());
+    model.embed_tag(&tag).cls.data
+}
+
+#[test]
+fn injected_panic_resolves_waiters_and_the_lane_survives() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let engine = Engine::new(
+        Arc::clone(&model),
+        ServeConfig {
+            lanes: 1,
+            faults: Faults::none().with_panic(FaultRule::times(2)).with_seed(7),
+            ..ServeConfig::default()
+        },
+    );
+    let client = engine.client();
+    // The first two batches panic at the batch boundary: their waiters
+    // must resolve `Internal`, not hang, and the lane must keep draining.
+    for i in 0..2 {
+        let err = client.embed_cone(cone(0), None).expect_err("injected");
+        match err {
+            ServeError::Internal(msg) => assert!(
+                msg.contains("injected fault"),
+                "panic payload must surface in the error, got {msg:?}"
+            ),
+            other => panic!("expected Internal, got {other:?} on request {i}"),
+        }
+    }
+    // Plan exhausted: the same lane thread now serves, bitwise clean —
+    // and the panicking batches cached nothing partial.
+    for i in 0..4 {
+        let served = client.embed_cone(cone(i), None).expect("post-recovery");
+        assert_eq!(
+            served.data,
+            offline_cls(&model, &cone(i)),
+            "post-recovery embedding {i} must match offline bitwise"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.panics_recovered, 2, "exactly the injected panics");
+    assert_eq!(stats.requests, 6, "every request was accepted");
+}
+
+#[test]
+fn injected_delay_trips_deadlines_on_both_sides() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let engine = Engine::new(
+        Arc::clone(&model),
+        ServeConfig {
+            lanes: 1,
+            request_timeout: Some(Duration::from_millis(20)),
+            faults: Faults::none().with_delay(FaultRule::times(1), 200),
+            ..ServeConfig::default()
+        },
+    );
+    let client = engine.client();
+    // The delayed batch overshoots the 20 ms deadline: the caller must
+    // resolve `DeadlineExceeded` roughly at its deadline, not after the
+    // injected 200 ms latency.
+    let start = Instant::now();
+    let err = client.embed_cone(cone(0), None).expect_err("deadline");
+    let waited = start.elapsed();
+    assert!(matches!(err, ServeError::DeadlineExceeded), "got {err:?}");
+    assert!(
+        waited < Duration::from_millis(150),
+        "caller must resolve at its deadline, not the fault's latency (waited {waited:?})"
+    );
+    // Server side, the same request was pruned after the delay without
+    // being encoded; give the delayed batch time to finish.
+    std::thread::sleep(Duration::from_millis(300));
+    let stats = engine.stats();
+    assert_eq!(stats.timeouts, 1, "caller-side deadline accounting");
+    assert_eq!(stats.deadline_expired, 1, "queue-side pruning accounting");
+    // Delay exhausted: the engine serves normally within the same budget.
+    let served = client.embed_cone(cone(1), None).expect("post-delay");
+    assert_eq!(served.data, offline_cls(&model, &cone(1)));
+}
+
+#[test]
+fn corrupt_and_sever_faults_reconnect_resend_and_stay_bitwise_clean() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let engine = Engine::new(
+        Arc::clone(&model),
+        ServeConfig {
+            faults: Faults::none()
+                .with_sever(FaultRule::times(1))
+                .with_corrupt(FaultRule::times(1))
+                .with_seed(11),
+            ..ServeConfig::default()
+        },
+    );
+    let server = NetServer::bind(engine.client(), "127.0.0.1:0").expect("bind");
+    let mut client = NetClient::connect(server.local_addr())
+        .expect("connect")
+        .with_retry(RetryPolicy::retries(4));
+    // Reply 1 is severed mid-frame, reply 2 is corrupted: the retrying
+    // client reconnects and resends under the same id both times, and
+    // the eventual answer — like every later one — is bitwise offline.
+    for i in 0..6 {
+        let served = client.embed_cone(&cone(i), None).expect("resilient embed");
+        assert_eq!(
+            served,
+            offline_cls(&model, &cone(i)),
+            "request {i} must come back bitwise clean despite wire faults"
+        );
+    }
+    let rs = client.retry_stats();
+    assert_eq!(rs.retries, 2, "one retry per injected wire fault");
+    assert_eq!(rs.reconnects, 2, "each wire fault forces a reconnect");
+}
+
+#[test]
+fn net_client_deadline_resolves_locally_and_the_next_call_reconnects() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let engine = Engine::new(
+        Arc::clone(&model),
+        ServeConfig {
+            lanes: 1,
+            faults: Faults::none().with_delay(FaultRule::times(1), 500),
+            ..ServeConfig::default()
+        },
+    );
+    let server = NetServer::bind(engine.client(), "127.0.0.1:0").expect("bind");
+    let mut client = NetClient::connect(server.local_addr())
+        .expect("connect")
+        .with_timeout(Some(Duration::from_millis(60)));
+    // The injected 500 ms batch delay overshoots the 60 ms budget: the
+    // client's read timeout resolves the call at its deadline, without
+    // waiting for the server.
+    let start = Instant::now();
+    let err = client.embed_cone(&cone(0), None).expect_err("deadline");
+    let waited = start.elapsed();
+    assert!(matches!(err, ServeError::DeadlineExceeded), "got {err:?}");
+    assert!(
+        waited < Duration::from_millis(400),
+        "deadline must resolve locally, not after the fault (waited {waited:?})"
+    );
+    // Let the delayed batch drain (the lane is still sleeping off the
+    // injected latency; the expired request in it is pruned unencoded).
+    std::thread::sleep(Duration::from_millis(600));
+    // A timed-out read may have left half a frame in the stream, so the
+    // next call reconnects before reusing the connection — and serves
+    // bitwise clean once the delay budget is spent.
+    let served = client.embed_cone(&cone(1), None).expect("post-deadline");
+    assert_eq!(served, offline_cls(&model, &cone(1)));
+    assert_eq!(client.retry_stats().reconnects, 1, "exactly one reconnect");
+}
+
+#[test]
+fn every_inflight_request_resolves_within_its_deadline_under_chaos() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let deadline = Duration::from_millis(400);
+    let engine = Engine::new(
+        Arc::clone(&model),
+        ServeConfig {
+            request_timeout: Some(deadline),
+            faults: Faults::none()
+                .with_panic(FaultRule {
+                    rate: 0.4,
+                    limit: 6,
+                })
+                .with_delay(
+                    FaultRule {
+                        rate: 0.4,
+                        limit: 6,
+                    },
+                    30,
+                )
+                .with_seed(42),
+            ..ServeConfig::default()
+        },
+    );
+    let client0 = engine.client();
+    let slack = Duration::from_secs(2); // scheduling noise, not semantics
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let client = client0.clone();
+            std::thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for i in 0..8 {
+                    let start = Instant::now();
+                    let result = client.embed_cone(cone((t * 8 + i) % 6), None);
+                    let waited = start.elapsed();
+                    assert!(
+                        waited < deadline + slack,
+                        "request {t}/{i} must resolve within its deadline (+slack), took {waited:?}"
+                    );
+                    match &result {
+                        Ok(_)
+                        | Err(ServeError::Internal(_))
+                        | Err(ServeError::DeadlineExceeded)
+                        | Err(ServeError::Overloaded) => {}
+                        Err(other) => panic!("request {t}/{i}: unexpected error {other:?}"),
+                    }
+                    outcomes.push(result.is_ok());
+                }
+                outcomes
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no client thread may die");
+    }
+    // Chaos is bounded by the plan's limits, but sub-unit rates need not
+    // have spent them during the storm. `Internal` is documented safe to
+    // retry — so retry: within the 6-panic budget every request must
+    // eventually answer, bitwise equal to offline.
+    let mut accepted = 32u64;
+    for i in 0..6 {
+        let mut tries = 0;
+        let served = loop {
+            accepted += 1;
+            match client0.embed_cone(cone(i), None) {
+                Ok(t) => break t,
+                Err(ServeError::Internal(_)) if tries < 8 => tries += 1,
+                Err(other) => panic!("post-chaos request {i}: {other:?}"),
+            }
+        };
+        assert_eq!(
+            served.data,
+            offline_cls(&model, &cone(i)),
+            "post-chaos embedding {i} must match offline bitwise"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.requests, accepted, "every request was accepted");
+    assert!(
+        stats.panics_recovered <= 6 && stats.deadline_expired + stats.timeouts <= 12,
+        "faults are bounded by the plan's limits: {stats:?}"
+    );
+}
+
+#[test]
+fn fault_state_is_zero_cost_when_off() {
+    // An empty plan must not arm the harness at all (the engine keeps
+    // `None` — no rng draws, no counters — which is what the serve bench
+    // `resilience_off_speedup` headline pins at ~1.0).
+    assert!(!Faults::none().enabled());
+    assert!(!Faults::default().enabled());
+    let engine = Engine::new(
+        Arc::new(NetTag::new(NetTagConfig::tiny())),
+        ServeConfig::default(),
+    );
+    let client = engine.client();
+    assert!(client.embed_cone(cone(0), None).is_ok());
+    let stats = engine.stats();
+    assert_eq!(stats.panics_recovered, 0);
+    assert_eq!(stats.deadline_expired, 0);
+    assert_eq!(stats.timeouts, 0);
+}

@@ -1,0 +1,50 @@
+//! The `NETTAG_FAULTS` environment knob. One test, alone in its own
+//! binary: `set_var` is process-global, and `Engine::build` reads the
+//! variable, so sharing a binary with other engine-building tests would
+//! race.
+
+use nettag_core::{NetTag, NetTagConfig};
+use nettag_netlist::{CellKind, Netlist};
+use nettag_serve::{Engine, FaultRule, Faults, ServeConfig, ServeError};
+use std::sync::Arc;
+
+fn cone() -> Netlist {
+    let mut n = Netlist::new("cone");
+    let a = n.add_gate("a", CellKind::Input, vec![]);
+    let g = n.add_gate("g", CellKind::Inv, vec![a]);
+    n.add_gate("y", CellKind::Output, vec![g]);
+    n.validate().expect("valid")
+}
+
+#[test]
+fn env_var_arms_the_harness_only_when_the_config_plan_is_empty() {
+    std::env::set_var("NETTAG_FAULTS", "panic=1:1,seed=3");
+    // Empty config plan: the env spec applies.
+    let env_armed = Engine::new(
+        Arc::new(NetTag::new(NetTagConfig::tiny())),
+        ServeConfig::default(),
+    );
+    // Non-empty config plan: it wins over the env spec (a delay-only
+    // plan, so no panic may fire).
+    let builder_armed = Engine::new(
+        Arc::new(NetTag::new(NetTagConfig::tiny())),
+        ServeConfig {
+            faults: Faults::none().with_delay(FaultRule::times(1), 1),
+            ..ServeConfig::default()
+        },
+    );
+    std::env::remove_var("NETTAG_FAULTS");
+
+    let client = env_armed.client();
+    let err = client.embed_cone(cone(), None).expect_err("env-injected");
+    assert!(matches!(err, ServeError::Internal(_)), "got {err:?}");
+    assert!(client.embed_cone(cone(), None).is_ok(), "budget of one");
+    assert_eq!(env_armed.stats().panics_recovered, 1);
+
+    let client = builder_armed.client();
+    assert!(
+        client.embed_cone(cone(), None).is_ok(),
+        "builder plan (no panics) must override the env spec"
+    );
+    assert_eq!(builder_armed.stats().panics_recovered, 0);
+}

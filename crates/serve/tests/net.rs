@@ -7,7 +7,7 @@ use nettag_core::{ClassifierHead, FinetuneConfig, NetTag, NetTagConfig};
 use nettag_expr::parse_expr;
 use nettag_expr::token::tokenize_expr;
 use nettag_netlist::{CellKind, GateId, Library, Netlist, Tag};
-use nettag_serve::{Engine, NetClient, NetServer, ServeConfig, ServeError};
+use nettag_serve::{Engine, NetClient, NetConfig, NetServer, ServeConfig, ServeError};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -204,6 +204,73 @@ fn overload_sheds_remote_requests_with_typed_error_and_keeps_serving() {
     let n = cone(1);
     let served = client.embed_cone(&n, None).expect("post-flood");
     assert_eq!(served, offline_cls(&model, &n));
+}
+
+#[test]
+fn ping_healthchecks_even_a_saturated_server() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let engine = Engine::new(
+        Arc::clone(&model),
+        ServeConfig {
+            lanes: 1,
+            queue_depth: 1,
+            max_batch: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let server = NetServer::bind(engine.client(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    // Occupy the single lane, then ping from a second connection: the
+    // pong is answered by the connection reader, not a lane, so it must
+    // come back promptly even though embedding work is queued behind the
+    // blocker.
+    let blocker = std::thread::spawn(move || {
+        let mut client = NetClient::connect(addr).expect("connect");
+        client.embed_cone(&big_cone(), None).expect("blocker")
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let mut client = NetClient::connect(addr).expect("connect");
+    let start = std::time::Instant::now();
+    let generation = client.ping().expect("pong");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "ping must not wait behind lane work"
+    );
+    assert_eq!(generation, engine.generation());
+    blocker.join().expect("blocker thread");
+}
+
+#[test]
+fn idle_reaper_severs_quiet_connections_but_not_active_ones() {
+    let model = Arc::new(NetTag::new(NetTagConfig::tiny()));
+    let engine = Engine::new(Arc::clone(&model), ServeConfig::default());
+    let server = NetServer::bind_with(
+        engine.client(),
+        "127.0.0.1:0",
+        NetConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            sweep_interval: Duration::from_millis(25),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut quiet = NetClient::connect(server.local_addr()).expect("connect");
+    assert!(quiet.embed_cone(&cone(0), None).is_ok());
+    // A connection that keeps talking stays up well past the idle bound…
+    let mut chatty = NetClient::connect(server.local_addr()).expect("connect");
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(chatty.ping().is_ok(), "active connection must survive");
+    }
+    // …while the quiet one has been severed by the reaper.
+    let err = quiet.embed_cone(&cone(0), None).expect_err("reaped");
+    assert!(matches!(err, ServeError::Transport(_)), "got {err:?}");
+    // Fresh connections still serve.
+    let mut fresh = NetClient::connect(server.local_addr()).expect("connect");
+    assert_eq!(
+        fresh.embed_cone(&cone(1), None).expect("serve"),
+        offline_cls(&model, &cone(1))
+    );
 }
 
 #[test]

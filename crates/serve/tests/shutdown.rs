@@ -1,0 +1,165 @@
+//! Shutdown-vs-inflight races: however shutdown interleaves with
+//! submission, every accepted request resolves (its answer or `Closed`),
+//! nothing hangs, and no threads leak (`Engine::shutdown` and
+//! `NetServer::shutdown` join every handle they spawned — a second
+//! shutdown finding nothing left to join is the observable proof).
+
+use nettag_core::{NetTag, NetTagConfig};
+use nettag_netlist::{CellKind, Netlist};
+use nettag_serve::{Engine, NetClient, NetServer, ServeConfig, ServeError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn cone(salt: usize) -> Netlist {
+    let mut n = Netlist::new("cone");
+    let a = n.add_gate("a", CellKind::Input, vec![]);
+    let b = n.add_gate("b", CellKind::Input, vec![]);
+    let x = n.add_gate("x", CellKind::Xor2, vec![a, b]);
+    let mut prev = x;
+    for i in 0..salt % 5 {
+        prev = n.add_gate(format!("s{i}"), CellKind::Inv, vec![prev]);
+    }
+    n.add_gate("y", CellKind::Output, vec![prev]);
+    n.validate().expect("valid")
+}
+
+#[test]
+fn engine_shutdown_races_inflight_submissions_without_hanging() {
+    // Clients hammer the engine from four threads while the main thread
+    // shuts it down mid-storm. Every call must return — Ok for requests
+    // the engine accepted and answered, `Closed`/`Overloaded` otherwise —
+    // within a wall-clock bound that a single hung reply would blow.
+    let engine = Engine::new(
+        Arc::new(NetTag::new(NetTagConfig::tiny())),
+        ServeConfig::default(),
+    );
+    let client = engine.client();
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let client = client.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ok = 0u32;
+                let mut closed = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    match client.embed_cone(cone(t), None) {
+                        Ok(_) => ok += 1,
+                        Err(ServeError::Closed) => closed += 1,
+                        Err(ServeError::Overloaded) => {}
+                        Err(other) => panic!("unexpected error during shutdown race: {other:?}"),
+                    }
+                }
+                (ok, closed)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    let start = Instant::now();
+    engine.shutdown();
+    stop.store(true, Ordering::Relaxed);
+    let mut total_ok = 0;
+    for w in workers {
+        let (ok, _closed) = w.join().expect("worker must not die");
+        total_ok += ok;
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "shutdown with inflight work must not hang"
+    );
+    assert!(
+        total_ok > 0,
+        "the storm must have been served before shutdown"
+    );
+    // Post-shutdown submissions fail fast and typed.
+    let err = client.embed_cone(cone(0), None).expect_err("closed");
+    assert!(matches!(err, ServeError::Closed), "got {err:?}");
+    // Idempotent: with every batcher already joined, this returns
+    // immediately — nothing left leaked.
+    engine.shutdown();
+}
+
+#[test]
+fn engine_drop_behaves_like_shutdown_for_waiting_clients() {
+    let engine = Engine::new(
+        Arc::new(NetTag::new(NetTagConfig::tiny())),
+        ServeConfig::default(),
+    );
+    let client = engine.client();
+    // Submissions racing the drop must resolve Ok or Closed, never hang.
+    let waiter = std::thread::spawn(move || {
+        let mut outcomes = Vec::new();
+        for i in 0..50 {
+            match client.embed_cone(cone(i % 4), None) {
+                Ok(_) | Err(ServeError::Closed) | Err(ServeError::Overloaded) => {
+                    outcomes.push(true);
+                }
+                Err(other) => panic!("unexpected error racing drop: {other:?}"),
+            }
+        }
+        outcomes.len()
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    drop(engine);
+    assert_eq!(waiter.join().expect("waiter must not die"), 50);
+}
+
+#[test]
+fn net_server_shutdown_races_remote_inflight_requests() {
+    let engine = Engine::new(
+        Arc::new(NetTag::new(NetTagConfig::tiny())),
+        ServeConfig::default(),
+    );
+    let server = NetServer::bind(engine.client(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut served = 0u32;
+                'outer: while !stop.load(Ordering::Relaxed) {
+                    // (Re)connect; a refused connection during teardown is
+                    // a valid outcome.
+                    let Ok(mut client) = NetClient::connect(addr) else {
+                        break;
+                    };
+                    while !stop.load(Ordering::Relaxed) {
+                        match client.embed_cone(&cone(t), None) {
+                            Ok(_) => served += 1,
+                            // Severed mid-flight or engine-side errors —
+                            // all typed, none hang.
+                            Err(ServeError::Transport(_)) => continue 'outer,
+                            Err(ServeError::Overloaded | ServeError::Closed) => {}
+                            Err(other) => panic!("unexpected error: {other:?}"),
+                        }
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+    let start = Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "server shutdown must join its connection threads, not hang on them"
+    );
+    stop.store(true, Ordering::Relaxed);
+    let served: u32 = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread must not die"))
+        .sum();
+    assert!(
+        served > 0,
+        "the storm must have been served before shutdown"
+    );
+    // The listener is gone — fresh connections fail rather than hang.
+    assert!(NetClient::connect(addr).is_err());
+    // The engine behind the front-end is untouched and still serves.
+    assert!(engine.client().embed_cone(cone(1), None).is_ok());
+    // Idempotent second shutdown: every handle was already joined.
+    server.shutdown();
+}
